@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's figures at
+:data:`repro.experiments.common.BENCH_SCALE` (a 30-node shrink of the
+Mirage profile, 7 simulated minutes, one seed) so the whole suite runs in
+minutes.  The printed tables use the same renderers as the full-scale
+examples; EXPERIMENTS.md records full-scale outputs.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulations are deterministic and expensive; statistical repetition
+    would only burn time without changing the result.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

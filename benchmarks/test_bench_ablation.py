@@ -1,0 +1,30 @@
+"""Ablation benchmark for 4B design choices (DESIGN.md §4): eviction
+policy, white-bit requirement, window sizes, outer-EWMA weight, pin bit."""
+
+import dataclasses
+
+from repro.experiments.ablation import BASELINE, run, variants
+from repro.experiments.common import BENCH_SCALE
+
+SCALE = dataclasses.replace(BENCH_SCALE, seeds=(1,))
+
+
+def test_ablations(once):
+    result = once(lambda: run(SCALE))
+    print()
+    print(result.render())
+    base = result.baseline()
+    assert base.delivery_ratio > 0.97
+    # Every ablated variant still functions (these are perturbations, not
+    # amputations); gross failure would indicate a wiring bug.
+    for name, r in result.results.items():
+        assert r.delivery_ratio > 0.80, f"{name} collapsed: {r.summary_row()}"
+    # The full design is never grossly worse than any ablation.
+    for name, r in result.results.items():
+        assert base.cost <= r.cost * 1.35, f"{name} unexpectedly beat 4B by >35%"
+
+
+def test_variant_catalog_is_complete():
+    names = set(variants())
+    assert BASELINE in names
+    assert {"no-pin", "evict-worst", "no-white", "ku=1", "ku=25", "kb=10", "alpha=0.9"} <= names

@@ -1,0 +1,42 @@
+"""Extension benchmark: estimation accuracy and agility vs ground truth
+(quantifies the paper's Section 2 layer-limitation arguments)."""
+
+import dataclasses
+
+from repro.analysis import table
+from repro.estimators.accuracy import evaluate, step_scenario, steady_scenario
+from repro.estimators.presets import four_bit
+
+
+def test_accuracy_and_agility(once):
+    def run():
+        steady = steady_scenario(
+            0.7, duration_s=900.0, warmup_s=300.0, data_rate_pps=2.0, beacon_period_s=5.0
+        )
+        step = step_scenario(
+            high=0.9, low=0.3, at_s=300.0, duration_s=700.0, data_rate_pps=2.0, beacon_period_s=5.0
+        )
+        hybrid_acc = evaluate(four_bit(), steady, label="4b")
+        hybrid_step = evaluate(four_bit(), step, label="4b")
+        beacon_config = dataclasses.replace(four_bit(), use_ack_stream=False)
+        beacon_acc = evaluate(beacon_config, steady, label="beacon-only")
+        beacon_step = evaluate(beacon_config, step, label="beacon-only")
+        return hybrid_acc, hybrid_step, beacon_acc, beacon_step
+
+    hybrid_acc, hybrid_step, beacon_acc, beacon_step = once(run)
+    print()
+    rows = [
+        ["4B", f"{hybrid_acc.mean_relative_error() * 100:.0f}%",
+         f"{hybrid_step.detection_delay_s:.0f}s" if hybrid_step.detection_delay_s else "never"],
+        ["beacon-only", f"{beacon_acc.mean_relative_error() * 100:.0f}%",
+         f"{beacon_step.detection_delay_s:.0f}s" if beacon_step.detection_delay_s else "never"],
+    ]
+    print(table(["estimator", "rel. error (p=0.7)", "step detection"], rows,
+                title="estimator accuracy (extension)"))
+
+    # The ack bit buys accuracy AND agility.
+    assert hybrid_acc.mean_relative_error() <= beacon_acc.mean_relative_error() + 0.02
+    assert hybrid_step.detection_delay_s is not None
+    assert hybrid_step.detection_delay_s < 60.0
+    if beacon_step.detection_delay_s is not None:
+        assert hybrid_step.detection_delay_s < beacon_step.detection_delay_s

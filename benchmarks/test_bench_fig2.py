@@ -1,0 +1,17 @@
+"""Figure 2 benchmark: routing trees and cost of CTP / MultiHopLQI /
+CTP-unconstrained (paper: 3.14 / 2.28 / 1.86 transmissions per packet)."""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig2_trees import run
+
+
+def test_fig2_routing_trees(once):
+    result = once(lambda: run(BENCH_SCALE))
+    print()
+    print(result.render())
+    # Shape assertions (not absolute values): the constrained table hurts.
+    assert result.results["ctp"].cost > result.results["ctp-unconstrained"].cost
+    assert result.depth_gap_holds()
+    # All three protocols form working trees.
+    for r in result.results.values():
+        assert r.delivery_ratio > 0.5

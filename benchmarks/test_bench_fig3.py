@@ -1,0 +1,18 @@
+"""Figure 3 benchmark: PRR collapse invisible to the LQI (paper: PRR drops
+0.9 → 0.6 between hours 4–6 while received-packet LQI stays high and
+unacknowledged packets pile up)."""
+
+from repro.experiments.fig3_lqi_blind import Fig3Settings, run
+
+SETTINGS = Fig3Settings(duration_s=900.0, burst_window=(300.0, 600.0))
+
+
+def test_fig3_lqi_blindness(once):
+    result = once(lambda: run(SETTINGS))
+    print()
+    print(result.render())
+    stats = result.window_stats()
+    assert stats["prr_outside"] > 0.85
+    assert stats["prr_inside"] < stats["prr_outside"] - 0.15
+    assert abs(stats["lqi_outside"] - stats["lqi_inside"]) < 5.0
+    assert result.blindness_holds()

@@ -1,0 +1,21 @@
+"""Figure 7 benchmark: cost/depth vs transmit power (paper: both grow as
+power drops; 4B cost 19–28% below MultiHopLQI across 0/−10/−20 dBm)."""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig7_power_sweep import run
+
+POWERS = (0.0, -10.0)  # −20 dBm disconnects the shrunken bench topology
+
+
+def test_fig7_power_sweep(once):
+    result = once(lambda: run(BENCH_SCALE, powers=POWERS))
+    print()
+    print(result.render())
+    assert result.fourbit_wins_everywhere()
+    for proto in ("4b", "mhlqi"):
+        assert result.depth_increases_with_lower_power(proto)
+    # 4B hugs the depth lower bound at least as tightly as MultiHopLQI at
+    # 0 dBm.  At bench scale both excesses are a few percent, so allow
+    # noise-level slack; the full-scale run (EXPERIMENTS.md: 10% vs 19%)
+    # carries the real comparison.
+    assert result.excess_over_depth("4b", 0.0) <= result.excess_over_depth("mhlqi", 0.0) + 0.05

@@ -1,0 +1,17 @@
+"""Figure 8 benchmark: per-node delivery distributions vs power (paper: 4B
+≥99% tight; MultiHopLQI mean 95.9% with a 64% worst node at 0 dBm,
+degrading further at lower power)."""
+
+from repro.experiments.common import BENCH_SCALE
+from repro.experiments.fig8_delivery import run
+
+POWERS = (0.0, -10.0)
+
+
+def test_fig8_delivery_distributions(once):
+    result = once(lambda: run(BENCH_SCALE, powers=POWERS))
+    print()
+    print(result.render())
+    for power in POWERS:
+        assert result.fourbit_median_high(power, floor=0.9)
+        assert result.fourbit_tighter(power)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quantify Section 2: what each estimator flavor can and cannot measure.
+
+Scores three estimator configurations against ground truth on scripted
+links: a steady lossy link (accuracy/bias) and a step change (agility).
+Ground truth for acknowledged delivery on a symmetric link with PRR p is
+ETX = 1/p² — which a beacon-only estimator structurally cannot see.
+
+Usage:
+    python examples/estimation_accuracy.py
+"""
+
+import dataclasses
+
+from repro.analysis import table
+from repro.estimators.accuracy import evaluate, step_scenario, steady_scenario, true_etx
+from repro.estimators.presets import four_bit
+
+CONFIGS = {
+    "4B (hybrid)": four_bit(),
+    "beacon-only (no ack bit)": dataclasses.replace(four_bit(), use_ack_stream=False),
+    "sluggish (ku=25, a=0.9)": dataclasses.replace(four_bit(), ku=25, alpha_outer=0.9),
+}
+
+
+def main() -> None:
+    steady = steady_scenario(0.7, duration_s=900.0, warmup_s=300.0, data_rate_pps=2.0,
+                             beacon_period_s=5.0)
+    step = step_scenario(high=0.9, low=0.3, at_s=300.0, duration_s=700.0, data_rate_pps=2.0,
+                         beacon_period_s=5.0)
+
+    rows = []
+    for label, config in CONFIGS.items():
+        acc = evaluate(config, steady, label=label)
+        agility = evaluate(config, step, label=label)
+        delay = agility.detection_delay_s
+        rows.append(
+            [
+                label,
+                f"{acc.mean_relative_error() * 100:.0f}%",
+                f"{acc.availability() * 100:.0f}%",
+                f"{delay:.0f}s" if delay is not None else "never",
+            ]
+        )
+    print(
+        table(
+            ["estimator", "rel. error (steady p=0.7)", "availability", "step detection"],
+            rows,
+            title=f"estimator accuracy vs ground truth (truth on steady link: ETX = {true_etx(0.7):.2f})",
+        )
+    )
+    print()
+    print("The beacon-only estimator converges to 1/p — biased low against the")
+    print("1/p² acknowledged-delivery truth — and detects the step only at")
+    print("probe rate.  The ack bit fixes both, at zero protocol cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Watch the hybrid estimator track a scripted link, knob by knob.
+
+Drives a single 4B estimator over a trace-driven link whose PRR follows a
+script (good → collapse → recovery) and prints the estimate after every
+data window for several configurations — the agility-vs-stability
+trade-off behind the paper's ku/kb/alpha choices.
+
+Usage:
+    python examples/estimator_playground.py
+"""
+
+import random
+
+from repro.analysis import timeseries
+from repro.core.estimator import EstimatorConfig, HybridLinkEstimator
+from repro.link.frame import BROADCAST, NetworkFrame
+from repro.link.mac import Mac
+from repro.phy.radio import Radio
+from repro.phy.trace_link import LinkTrace, TraceMedium
+from repro.sim.engine import Engine
+from repro.sim.rng import RngManager
+
+ME, NEIGHBOR = 0, 1
+
+#: PRR script: 60 s good, 60 s collapsed, 60 s recovered.
+SCRIPT = LinkTrace([(0.0, 0.95), (60.0, 0.25), (120.0, 0.95)])
+
+
+def run_config(label: str, config: EstimatorConfig):
+    engine = Engine()
+    rng = RngManager(7)
+    medium = TraceMedium(engine, rng)
+    macs = {}
+    for nid in (ME, NEIGHBOR):
+        mac = Mac(engine, medium, Radio(node_id=nid), rng.stream("mac", nid))
+        medium.attach(mac)
+        macs[nid] = mac
+    medium.set_symmetric_link(ME, NEIGHBOR, SCRIPT)
+    estimator = HybridLinkEstimator(macs[ME], config, rng.stream("est"))
+
+    # Neighbor beacons once per 10 s (bootstraps the estimate)...
+    def neighbor_beacon():
+        wrapped_payload = NetworkFrame(src=NEIGHBOR, dst=BROADCAST, length_bytes=16)
+        from repro.link.frame import le_wrap
+
+        neighbor_seq[0] = (neighbor_seq[0] + 1) % 256
+        macs[NEIGHBOR].send(le_wrap(wrapped_payload, le_seq=neighbor_seq[0]))
+        engine.schedule(10.0, neighbor_beacon)
+
+    neighbor_seq = [0]
+    engine.schedule(0.1, neighbor_beacon)
+
+    # ...while we push data at 2 packets/s and sample the estimate.
+    series = []
+
+    def send_data():
+        estimator.send(NetworkFrame(src=ME, dst=NEIGHBOR, length_bytes=30))
+        quality = estimator.link_quality(NEIGHBOR)
+        if quality != float("inf"):
+            series.append((engine.now, min(quality, 12.0)))
+        engine.schedule(0.5, send_data)
+
+    engine.schedule(1.0, send_data)
+    engine.run_until(180.0)
+    return label, series
+
+
+def main() -> None:
+    configs = {
+        "4B defaults (ku=5, a=0.5)": EstimatorConfig(),
+        "sluggish (ku=25, a=0.9)": EstimatorConfig(ku=25, alpha_outer=0.9),
+        "jumpy (ku=1, a=0.1)": EstimatorConfig(ku=1, alpha_outer=0.1),
+    }
+    results = dict(run_config(label, config) for label, config in configs.items())
+    print(
+        timeseries(
+            results,
+            title="hybrid ETX tracking a scripted PRR (0.95 -> 0.25 @60s -> 0.95 @120s)",
+            ylabel="estimated ETX (clipped at 12)",
+            height=16,
+        )
+    )
+    print()
+    print("True ETX: ~1.05 in the good phases, ~4 during the collapse.")
+    print("Defaults react within a few windows and settle without ringing;")
+    print("the sluggish config lags the collapse, the jumpy one never settles.")
+
+
+if __name__ == "__main__":
+    main()

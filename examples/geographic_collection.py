@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""A different network layer, the same four bits.
+
+Runs greedy geographic routing — beacons carry positions, the compare bit
+means "closer to the sink", the pin bit protects the next hop — over the
+*unchanged* 4B link estimator, next to CTP on the same topology and
+channel.  Section 2.3 of the paper argues the estimator should be reusable
+across network layers; this example is that claim, executed.
+
+Usage:
+    python examples/geographic_collection.py [--minutes 10]
+"""
+
+import argparse
+
+from repro import CollectionNetwork, MIRAGE, SimConfig, scaled_profile
+from repro.analysis import table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--minutes", type=float, default=10.0)
+    parser.add_argument("--nodes", type=int, default=40)
+    args = parser.parse_args()
+
+    profile = scaled_profile(MIRAGE, args.nodes)
+    topo = profile.topology(seed=11)
+    rows = []
+    for protocol, label in (("4b", "CTP + 4B (path ETX)"), ("geo", "greedy geographic + 4B")):
+        config = SimConfig(
+            protocol=protocol,
+            seed=1,
+            duration_s=args.minutes * 60.0,
+            warmup_s=min(180.0, args.minutes * 20.0),
+        )
+        result = CollectionNetwork(topo, config, profile=profile).run()
+        rows.append(
+            [
+                label,
+                f"{result.cost:.2f}",
+                f"{result.avg_tree_depth:.2f}",
+                f"{result.delivery_ratio * 100:.1f}%",
+            ]
+        )
+    print(
+        table(
+            ["network layer", "cost", "avg depth", "delivery"],
+            rows,
+            title="two network layers sharing one link estimator",
+        )
+    )
+    print()
+    print("Geographic routing ignores link cost beyond a usability gate, so its")
+    print("cost is a bit higher — but the estimator, table, and all four bits")
+    print("are byte-for-byte the same code in both rows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Figures 7 and 8 at full scale: transmit-power sweep.
+
+Runs 4B and MultiHopLQI at 0 / −10 / −20 dBm on the Mirage-like testbed,
+reporting cost & depth (Figure 7) and per-node delivery distributions
+(Figure 8) from the same set of runs.
+
+Usage:
+    python examples/power_sweep.py [--quick]
+"""
+
+import argparse
+
+from repro.experiments.common import BENCH_SCALE, FULL_SCALE
+from repro.experiments.fig7_power_sweep import run as run_fig7
+from repro.experiments.fig8_delivery import run as run_fig8
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+    if args.quick:
+        scale, powers = BENCH_SCALE, (0.0, -10.0)
+    else:
+        scale, powers = FULL_SCALE, (0.0, -10.0, -20.0)
+    sweep = run_fig7(scale, powers=powers)
+    print(sweep.render())
+    print()
+    delivery = run_fig8(scale, powers=powers, sweep=sweep)
+    print(delivery.render())
+    print()
+    print(f"4B wins on cost at every power: {sweep.fourbit_wins_everywhere()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's entire evaluation in one command.
+
+Runs every figure experiment at the chosen scale and writes one text file
+per figure under ``results/`` (plus a summary to stdout).  This is the
+script whose output backs EXPERIMENTS.md.
+
+Usage:
+    python examples/run_full_evaluation.py --out results [--quick]
+    python examples/run_full_evaluation.py --minutes 20 --seeds 1
+"""
+
+import argparse
+import dataclasses
+import time
+import traceback
+from pathlib import Path
+
+from repro.experiments import BENCH_SCALE, FULL_SCALE
+from repro.experiments import (
+    ablation,
+    fig2_trees,
+    fig3_lqi_blind,
+    fig6_design_space,
+    fig7_power_sweep,
+    fig8_delivery,
+    headline,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--quick", action="store_true", help="benchmark scale (~2 min)")
+    parser.add_argument("--minutes", type=float, default=None, help="override run length")
+    parser.add_argument("--seeds", type=int, default=None, help="number of seeds")
+    args = parser.parse_args()
+
+    scale = BENCH_SCALE if args.quick else FULL_SCALE
+    if args.minutes is not None:
+        scale = dataclasses.replace(
+            scale, duration_s=args.minutes * 60.0, warmup_s=min(300.0, args.minutes * 12.0)
+        )
+    if args.seeds is not None:
+        scale = dataclasses.replace(scale, seeds=tuple(range(1, args.seeds + 1)))
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    powers = (0.0, -10.0) if args.quick else (0.0, -10.0, -20.0)
+    sweep_holder = {}
+
+    def fig7():
+        sweep_holder["sweep"] = fig7_power_sweep.run(scale, powers=powers)
+        return sweep_holder["sweep"]
+
+    jobs = [
+        ("fig3", lambda: fig3_lqi_blind.run()),
+        ("fig2", lambda: fig2_trees.run(scale)),
+        ("fig6", lambda: fig6_design_space.run(scale)),
+        ("fig7", fig7),
+        ("fig8", lambda: fig8_delivery.run(scale, powers=powers, sweep=sweep_holder.get("sweep"))),
+        ("headline", lambda: headline.run(scale)),
+        ("ablation", lambda: ablation.run(scale)),
+    ]
+    for name, job in jobs:
+        t0 = time.time()
+        try:
+            body = job().render()
+        except Exception:
+            body = traceback.format_exc()
+        wall = time.time() - t0
+        path = out / f"{name}.txt"
+        path.write_text(body + f"\n\n[wall time: {wall:.0f}s]\n")
+        print(f"{name:<10} {wall:6.0f}s  -> {path}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

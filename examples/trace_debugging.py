@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Observe a run from the inside: structured event tracing.
+
+Instruments every node of a small 4B network, runs five minutes of
+collection, and prints parent changes, a transmission ledger for the
+busiest node, and one node's estimator table snapshot — the workflow for
+debugging a misbehaving deployment.
+
+Usage:
+    python examples/trace_debugging.py
+"""
+
+from collections import Counter
+
+from repro import CollectionNetwork, MIRAGE, SimConfig, scaled_profile
+from repro.sim.trace import instrument_network
+
+
+def main() -> None:
+    profile = scaled_profile(MIRAGE, 20)
+    topology = profile.topology(seed=11)
+    config = SimConfig(protocol="4b", seed=4, duration_s=300.0, warmup_s=100.0)
+    network = CollectionNetwork(topology, config, profile=profile)
+    tracer = instrument_network(network)
+    result = network.run()
+
+    print(result.summary_row())
+    print()
+    print("--- parent changes (route dynamics) ---")
+    print(tracer.render(kind="parent-change", limit=30))
+    print()
+
+    by_node = Counter(r.node for r in tracer.filter(kind="tx"))
+    busiest, tx_count = by_node.most_common(1)[0]
+    unacked = sum(1 for r in tracer.filter(kind="tx", node=busiest) if "ack=0" in r.detail)
+    print(f"--- busiest transmitter: node {busiest} ({tx_count} unicasts, {unacked} unacked) ---")
+    print(tracer.render(kind="tx", node=busiest, limit=10))
+    print()
+
+    print(f"--- estimator table of node {busiest} ---")
+    for row in network.nodes[busiest].estimator.table_snapshot():
+        prr_in = f"{row['prr_in']:.2f}" if row["prr_in"] is not None else "  — "
+        etx = f"{row['etx']:.2f}" if row["mature"] else " inf"
+        pin = "PIN" if row["pinned"] else "   "
+        print(f"  nbr {row['addr']:>3}  {pin}  etx={etx}  prr_in={prr_in}")
+
+
+if __name__ == "__main__":
+    main()

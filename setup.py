@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(this environment lacks the `wheel` package PEP 660 editables require)."""
+
+from setuptools import setup
+
+setup()

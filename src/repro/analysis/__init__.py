@@ -1,0 +1,5 @@
+"""Terminal rendering for tables, scatter plots, boxplots and trees."""
+
+from repro.analysis.render import boxplot, routing_tree, scatter, table, timeseries
+
+__all__ = ["boxplot", "routing_tree", "scatter", "table", "timeseries"]

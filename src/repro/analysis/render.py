@@ -1,0 +1,246 @@
+"""Terminal rendering: tables, scatter plots, boxplots, time series, trees.
+
+The paper's figures are regenerated as ASCII so the whole evaluation runs
+without a display or plotting dependency.  Each renderer returns a string;
+callers print it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def scatter(
+    points: Dict[str, Tuple[float, float]],
+    width: int = 64,
+    height: int = 20,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str = "",
+    diagonal: bool = False,
+) -> str:
+    """Labeled scatter plot: one (x, y) point per named series.
+
+    ``diagonal=True`` draws the y = x reference (the paper's "Cost = Depth"
+    lower-bound line in Figures 6 and 7).
+    """
+    if not points:
+        return "(no points)"
+    xs = [p[0] for p in points.values()]
+    ys = [p[1] for p in points.values()]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if diagonal:
+        lo = min(x_lo, y_lo)
+        hi = max(x_hi, y_hi)
+        x_lo = y_lo = lo
+        x_hi = y_hi = hi
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    x_lo -= 0.05 * x_span
+    x_hi += 0.05 * x_span
+    y_lo -= 0.05 * y_span
+    y_hi += 0.05 * y_span
+    x_span, y_span = x_hi - x_lo, y_hi - y_lo
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y_hi - y) / y_span * (height - 1))
+        return max(0, min(height - 1, row)), max(0, min(width - 1, col))
+
+    if diagonal:
+        steps = max(width, height) * 2
+        for i in range(steps + 1):
+            v = x_lo + x_span * i / steps
+            if y_lo <= v <= y_hi:
+                r, c = cell(v, v)
+                grid[r][c] = "."
+
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    legend = []
+    for i, (name, (x, y)) in enumerate(sorted(points.items())):
+        mark = markers[i % len(markers)]
+        r, c = cell(x, y)
+        grid[r][c] = mark
+        legend.append(f"  {mark} = {name} ({x:.2f}, {y:.2f})")
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y_hi - y_span * i / (height - 1)
+        prefix = f"{y_val:7.2f} |" if i % 4 == 0 else "        |"
+        lines.append(prefix + "".join(row))
+    lines.append("        +" + "-" * width)
+    lines.append(f"         {x_lo:.2f}{' ' * max(1, width - 14)}{x_hi:.2f}")
+    lines.append(f"         x: {xlabel}   y: {ylabel}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return math.nan
+    idx = q * (len(sorted_values) - 1)
+    lo = int(math.floor(idx))
+    hi = int(math.ceil(idx))
+    frac = idx - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def boxplot(
+    groups: Dict[str, List[float]],
+    width: int = 56,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal boxplots (min/Q1/median/Q3/max), one row per group."""
+    all_values = [v for vs in groups.values() for v in vs if not math.isnan(v)]
+    if not all_values:
+        return "(no data)"
+    lo = min(all_values) if lo is None else lo
+    hi = max(all_values) if hi is None else hi
+    span = (hi - lo) or 1.0
+    name_w = max(len(n) for n in groups)
+
+    def col(v: float) -> int:
+        return max(0, min(width - 1, int((v - lo) / span * (width - 1))))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for name, values in groups.items():
+        vs = sorted(v for v in values if not math.isnan(v))
+        if not vs:
+            lines.append(f"{name.ljust(name_w)} (no data)")
+            continue
+        q0, q1, q2, q3, q4 = (
+            vs[0],
+            _quantile(vs, 0.25),
+            _quantile(vs, 0.5),
+            _quantile(vs, 0.75),
+            vs[-1],
+        )
+        row = [" "] * width
+        for c in range(col(q0), col(q4) + 1):
+            row[c] = "-"
+        for c in range(col(q1), col(q3) + 1):
+            row[c] = "="
+        row[col(q0)] = "|"
+        row[col(q4)] = "|"
+        row[col(q2)] = "#"
+        stats = (
+            f"min={fmt.format(q0)} q1={fmt.format(q1)} med={fmt.format(q2)} "
+            f"q3={fmt.format(q3)} max={fmt.format(q4)}"
+        )
+        lines.append(f"{name.ljust(name_w)} [{''.join(row)}] {stats}")
+    lines.append(f"{' ' * name_w}  {fmt.format(lo)}{' ' * max(1, width - 10)}{fmt.format(hi)}")
+    return "\n".join(lines)
+
+
+def timeseries(
+    series: Dict[str, List[Tuple[float, Optional[float]]]],
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """One or more (t, value) series on a shared time axis."""
+    values = [v for s in series.values() for _, v in s if v is not None]
+    times = [t for s in series.values() for t, _ in s]
+    if not values:
+        return "(no data)"
+    t_lo, t_hi = min(times), max(times)
+    v_lo, v_hi = min(values), max(values)
+    v_span = (v_hi - v_lo) or 1.0
+    t_span = (t_hi - t_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "*o+x@%"
+    legend = []
+    for i, (name, points) in enumerate(series.items()):
+        mark = marks[i % len(marks)]
+        legend.append(f"  {mark} = {name}")
+        for t, v in points:
+            if v is None:
+                continue
+            col = int((t - t_lo) / t_span * (width - 1))
+            row = int((v_hi - v) / v_span * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        v_val = v_hi - v_span * i / (height - 1)
+        prefix = f"{v_val:8.2f} |" if i % 3 == 0 else "         |"
+        lines.append(prefix + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          t={t_lo:.0f}s{' ' * max(1, width - 18)}t={t_hi:.0f}s")
+    if ylabel:
+        lines.append(f"          y: {ylabel}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def routing_tree(
+    parents: Dict[int, Optional[int]],
+    depths: Dict[int, Optional[int]],
+    root: int,
+    title: str = "",
+    max_width: int = 100,
+) -> str:
+    """Indented routing-tree rendering with per-node depth, Figure 2 style."""
+    children: Dict[int, List[int]] = {}
+    for node, parent in parents.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(node)
+    lines = []
+    if title:
+        lines.append(title)
+
+    def visit(node: int, depth: int, seen: set) -> None:
+        if node in seen or depth > 20:
+            return
+        seen.add(node)
+        kids = sorted(children.get(node, []))
+        label = f"{'  ' * depth}{node}"
+        if kids:
+            label += f"  ({len(kids)} children)"
+        lines.append(label[:max_width])
+        for kid in kids:
+            visit(kid, depth + 1, seen)
+
+    visit(root, 0, set())
+    orphans = [n for n, d in depths.items() if d is None and n != root]
+    if orphans:
+        lines.append(f"disconnected: {sorted(orphans)}")
+    histogram: Dict[int, int] = {}
+    for n, d in depths.items():
+        if n != root and d is not None:
+            histogram[d] = histogram.get(d, 0) + 1
+    lines.append(
+        "depth histogram: "
+        + "  ".join(f"{d}:{histogram[d]}" for d in sorted(histogram))
+    )
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""The paper's core contribution: four-bit interfaces + hybrid estimator."""
+
+from repro.core.estimator import (
+    EstimatorConfig,
+    EstimatorStats,
+    HybridLinkEstimator,
+)
+from repro.core.ewma import Ewma
+from repro.core.interfaces import CompareBitProvider, EstimatorClient, LinkEstimator
+from repro.core.neighbor_table import NeighborEntry, NeighborTable
+
+__all__ = [
+    "CompareBitProvider",
+    "EstimatorClient",
+    "EstimatorConfig",
+    "EstimatorStats",
+    "Ewma",
+    "HybridLinkEstimator",
+    "LinkEstimator",
+    "NeighborEntry",
+    "NeighborTable",
+]

@@ -1,0 +1,47 @@
+"""Exponentially weighted moving averages used by the hybrid estimator."""
+
+from __future__ import annotations
+
+
+class Ewma:
+    """EWMA with ``alpha`` = weight of history.
+
+    ``update(x)`` sets ``value ← alpha·value + (1 − alpha)·x``.  The first
+    sample seeds the average directly (no zero bias).
+    """
+
+    __slots__ = ("alpha", "_value", "_initialized")
+
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1): {alpha}")
+        self.alpha = alpha
+        self._value = 0.0
+        self._initialized = False
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    @property
+    def value(self) -> float:
+        if not self._initialized:
+            raise ValueError("EWMA has no samples yet")
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Fold in ``sample``; returns the new value."""
+        if self._initialized:
+            self._value = self.alpha * self._value + (1.0 - self.alpha) * sample
+        else:
+            self._value = sample
+            self._initialized = True
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+        self._initialized = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = f"{self._value:.3f}" if self._initialized else "empty"
+        return f"Ewma(alpha={self.alpha}, {inner})"

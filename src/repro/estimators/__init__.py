@@ -1,0 +1,19 @@
+"""Named estimator presets spanning the paper's Figure 6 design space."""
+
+from repro.estimators.presets import (
+    PRESETS,
+    ctp_stock,
+    ctp_unconstrained,
+    ctp_unidir_ack,
+    ctp_white_compare,
+    four_bit,
+)
+
+__all__ = [
+    "PRESETS",
+    "ctp_stock",
+    "ctp_unconstrained",
+    "ctp_unidir_ack",
+    "ctp_white_compare",
+    "four_bit",
+]

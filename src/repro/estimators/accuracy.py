@@ -1,0 +1,177 @@
+"""Offline estimator-accuracy harness.
+
+Section 2 of the paper argues each layer's estimator has characteristic
+*errors*, not just costs: broadcast-probe estimators are slow to adapt and
+measure each direction separately; the ack bit measures the true
+bidirectional delivery probability at data rate.  This harness quantifies
+those claims: it drives a single estimator over a scripted
+:class:`~repro.phy.trace_link.LinkTrace` (beacons at a fixed period, data
+at a fixed rate) and scores the estimate against ground truth.
+
+Ground truth for a symmetric scripted link with PRR ``p`` is
+``ETX = 1/p²``: a successful *acknowledged* transmission needs the data
+frame and the ack to both survive.  A unidirectional beacon estimator can
+at best learn ``1/p`` — structurally biased low on lossy links — which is
+why 4B treats beacons as bootstrap values and lets the ack bit refine them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.estimator import EstimatorConfig, HybridLinkEstimator
+from repro.link.frame import BROADCAST, NetworkFrame, le_wrap
+from repro.link.mac import Mac
+from repro.phy.radio import Radio
+from repro.phy.trace_link import LinkTrace, TraceMedium
+from repro.sim.engine import Engine
+from repro.sim.rng import RngManager
+
+ME, NEIGHBOR = 0, 1
+
+
+@dataclass(frozen=True)
+class AccuracyScenario:
+    """One scripted link + traffic pattern."""
+
+    name: str
+    trace: LinkTrace
+    duration_s: float = 600.0
+    #: Score only after this much settling time.
+    warmup_s: float = 120.0
+    beacon_period_s: float = 10.0
+    #: Data packets per second from the estimator's node (0 = quiet network).
+    data_rate_pps: float = 1.0
+    sample_period_s: float = 5.0
+    seed: int = 9
+
+
+@dataclass
+class AccuracyResult:
+    label: str
+    scenario: AccuracyScenario
+    #: (t, estimated ETX or None, true ETX)
+    samples: List[Tuple[float, Optional[float], float]] = field(default_factory=list)
+    #: Time from a scripted PRR step until the estimate crossed the midpoint
+    #: between the old and new truth (None = never, or no step in the trace).
+    detection_delay_s: Optional[float] = None
+
+    def mean_relative_error(self) -> float:
+        """Mean |est − true| / true over scored samples."""
+        scored = [
+            abs(est - true) / true
+            for t, est, true in self.samples
+            if est is not None and t >= self.scenario.warmup_s
+        ]
+        return sum(scored) / len(scored) if scored else math.nan
+
+    def availability(self) -> float:
+        """Fraction of scored instants with any estimate at all."""
+        relevant = [s for s in self.samples if s[0] >= self.scenario.warmup_s]
+        if not relevant:
+            return 0.0
+        return sum(1 for _, est, _ in relevant if est is not None) / len(relevant)
+
+
+def true_etx(prr: float) -> float:
+    """Ground-truth acknowledged-delivery ETX for a symmetric link."""
+    if prr <= 0.0:
+        return math.inf
+    return 1.0 / (prr * prr)
+
+
+def evaluate(
+    config: EstimatorConfig,
+    scenario: AccuracyScenario,
+    label: str = "",
+) -> AccuracyResult:
+    """Run one estimator over the scenario and score it."""
+    engine = Engine()
+    rng = RngManager(scenario.seed)
+    medium = TraceMedium(engine, rng)
+    macs: Dict[int, Mac] = {}
+    for nid in (ME, NEIGHBOR):
+        mac = Mac(engine, medium, Radio(node_id=nid), rng.stream("mac", nid))
+        medium.attach(mac)
+        macs[nid] = mac
+    medium.set_symmetric_link(ME, NEIGHBOR, scenario.trace)
+    estimator = HybridLinkEstimator(macs[ME], config, rng.stream("est"))
+
+    neighbor_seq = [0]
+
+    def neighbor_beacon() -> None:
+        payload = NetworkFrame(src=NEIGHBOR, dst=BROADCAST, length_bytes=16)
+        macs[NEIGHBOR].send(le_wrap(payload, le_seq=neighbor_seq[0]))
+        neighbor_seq[0] = (neighbor_seq[0] + 1) % 256
+        engine.schedule(scenario.beacon_period_s, neighbor_beacon)
+
+    engine.schedule(0.1, neighbor_beacon)
+
+    if scenario.data_rate_pps > 0:
+        interval = 1.0 / scenario.data_rate_pps
+
+        def send_data() -> None:
+            estimator.send(NetworkFrame(src=ME, dst=NEIGHBOR, length_bytes=30))
+            engine.schedule(interval, send_data)
+
+        engine.schedule(0.5, send_data)
+
+    result = AccuracyResult(label=label or "estimator", scenario=scenario)
+
+    def sample() -> None:
+        est = estimator.link_quality(NEIGHBOR)
+        truth = true_etx(scenario.trace.prr_at(engine.now))
+        result.samples.append((engine.now, None if math.isinf(est) else est, truth))
+        engine.schedule(scenario.sample_period_s, sample)
+
+    engine.schedule(scenario.sample_period_s, sample)
+    engine.run_until(scenario.duration_s)
+    result.detection_delay_s = _detection_delay(result)
+    return result
+
+
+def _detection_delay(result: AccuracyResult) -> Optional[float]:
+    """Delay until the estimate crosses the old/new-truth midpoint after the
+    largest truth step in the trace (None when the trace has no real step)."""
+    samples = result.samples
+    step_idx = None
+    step_size = 0.0
+    for i in range(1, len(samples)):
+        prev_truth, truth = samples[i - 1][2], samples[i][2]
+        if math.isinf(prev_truth) or math.isinf(truth):
+            continue
+        if abs(truth - prev_truth) > step_size:
+            step_size = abs(truth - prev_truth)
+            step_idx = i
+    if step_idx is None or step_size < 0.5:
+        return None
+    t_step = samples[step_idx][0]
+    old_truth = samples[step_idx - 1][2]
+    new_truth = samples[step_idx][2]
+    midpoint = (old_truth + new_truth) / 2.0
+    rising = new_truth > old_truth
+    for t, est, _ in samples[step_idx:]:
+        if est is None:
+            continue
+        if (rising and est >= midpoint) or (not rising and est <= midpoint):
+            return t - t_step
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Canonical scenarios
+# ---------------------------------------------------------------------------
+def steady_scenario(prr: float, **kwargs) -> AccuracyScenario:
+    return AccuracyScenario(name=f"steady-{prr:.2f}", trace=LinkTrace.constant(prr), **kwargs)
+
+
+def step_scenario(high: float = 0.9, low: float = 0.3, at_s: float = 300.0, **kwargs) -> AccuracyScenario:
+    kwargs.setdefault("duration_s", 600.0)
+    return AccuracyScenario(
+        name=f"step-{high:.1f}to{low:.1f}",
+        trace=LinkTrace([(0.0, high), (at_s, low)]),
+        **kwargs,
+    )

@@ -1,0 +1,89 @@
+"""Named estimator configurations — the design space of the paper's Figure 6.
+
+Each preset is an :class:`~repro.core.estimator.EstimatorConfig` for the
+shared hybrid engine:
+
+* ``CTP_STOCK`` — the TinyOS 2 CTP estimator the paper starts from:
+  broadcast-probe *bidirectional* ETX (forward PRR measured from beacon
+  sequence gaps, reverse PRR learned from beacon footers), no ack bit, and
+  a conservative displace-the-worst table policy.  Its table size caps node
+  in-degree, the failure Figure 2(a) shows.
+* ``CTP_UNCONSTRAINED`` — the same with an unlimited table (Figure 2(c)).
+* ``CTP_UNIDIR_ACK`` — adds the **ack bit**: the hybrid unicast/beacon
+  estimator with unidirectional beacons (in-degree decoupled from table
+  size) but the stock table policy.
+* ``CTP_WHITE_COMPARE`` — adds only the **white + compare bits** to the
+  stock bidirectional estimator (better table admission, no ack stream).
+* ``FOUR_BIT`` — all four bits: the paper's 4B prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.estimator import EstimatorConfig
+
+_DEFAULT_TABLE = 10
+
+
+def ctp_stock(table_size: Optional[int] = _DEFAULT_TABLE) -> EstimatorConfig:
+    """Stock CTP/T2 broadcast-probe bidirectional estimator."""
+    return EstimatorConfig(
+        table_size=table_size,
+        use_ack_stream=False,
+        bidirectional_beacons=True,
+        send_footers=True,
+        use_standard_replacement=True,
+        use_white_compare=False,
+    )
+
+
+def ctp_unconstrained() -> EstimatorConfig:
+    """Stock estimator with an unrestricted link table (Figure 2(c))."""
+    return ctp_stock(table_size=None)
+
+
+def ctp_unidir_ack(table_size: Optional[int] = _DEFAULT_TABLE) -> EstimatorConfig:
+    """CTP + the ack bit: hybrid unidirectional estimation, stock table."""
+    return EstimatorConfig(
+        table_size=table_size,
+        use_ack_stream=True,
+        bidirectional_beacons=False,
+        send_footers=False,
+        use_standard_replacement=True,
+        use_white_compare=False,
+    )
+
+
+def ctp_white_compare(table_size: Optional[int] = _DEFAULT_TABLE) -> EstimatorConfig:
+    """CTP + the white and compare bits only (no ack stream)."""
+    return EstimatorConfig(
+        table_size=table_size,
+        use_ack_stream=False,
+        bidirectional_beacons=True,
+        send_footers=True,
+        use_standard_replacement=True,
+        use_white_compare=True,
+    )
+
+
+def four_bit(table_size: Optional[int] = _DEFAULT_TABLE) -> EstimatorConfig:
+    """The full 4B estimator (all four bits)."""
+    return EstimatorConfig(
+        table_size=table_size,
+        use_ack_stream=True,
+        bidirectional_beacons=False,
+        send_footers=False,
+        use_standard_replacement=True,
+        use_white_compare=True,
+    )
+
+
+#: Registry used by the experiment harness; keys are protocol labels.
+PRESETS: Dict[str, EstimatorConfig] = {
+    "ctp": ctp_stock(),
+    "ctp-unconstrained": ctp_unconstrained(),
+    "ctp-unidir": ctp_unidir_ack(),
+    "ctp-white": ctp_white_compare(),
+    "4b": four_bit(),
+}

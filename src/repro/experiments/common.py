@@ -1,0 +1,118 @@
+"""Shared experiment harness.
+
+Every figure module accepts an :class:`ExperimentScale` so the same code
+runs at two sizes: full scale from ``examples/`` (paper-like durations,
+multiple seeds) and reduced scale from ``benchmarks/`` (smaller network,
+shorter runs — the benchmark suite must regenerate every figure in minutes,
+not hours).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from statistics import mean
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.collection_stats import CollectionResult
+from repro.sim.network import CollectionNetwork, SimConfig
+from repro.topology.testbeds import PROFILES, TestbedProfile, scaled_profile
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size/duration knobs for an experiment."""
+
+    profile_name: str = "mirage"
+    #: Shrink the testbed to this many nodes (None = full size).
+    n_nodes: Optional[int] = None
+    duration_s: float = 1800.0
+    warmup_s: float = 300.0
+    seeds: Tuple[int, ...] = (1, 2)
+    topology_seed: int = 11
+
+    def profile(self) -> TestbedProfile:
+        base = PROFILES[self.profile_name]
+        if self.n_nodes is None or self.n_nodes == base.n_nodes:
+            return base
+        return scaled_profile(base, self.n_nodes)
+
+
+#: Full-scale settings used by the examples (paper runs were 40–69 min on
+#: Mirage; we use 30 simulated minutes × 2 seeds).
+FULL_SCALE = ExperimentScale(duration_s=1800.0, warmup_s=300.0, seeds=(1, 2))
+
+#: Reduced settings used by the benchmark suite.
+BENCH_SCALE = ExperimentScale(n_nodes=30, duration_s=420.0, warmup_s=120.0, seeds=(1,))
+
+
+def run_one(
+    scale: ExperimentScale,
+    protocol: str,
+    seed: int,
+    tx_power_dbm: float = 0.0,
+    **config_overrides,
+) -> CollectionResult:
+    """One collection run of ``protocol`` at the given scale."""
+    profile = scale.profile()
+    topo = profile.topology(scale.topology_seed)
+    config = SimConfig(
+        protocol=protocol,
+        tx_power_dbm=tx_power_dbm,
+        seed=seed,
+        duration_s=scale.duration_s,
+        warmup_s=scale.warmup_s,
+        **config_overrides,
+    )
+    return CollectionNetwork(topo, config, profile=profile).run()
+
+
+@dataclass
+class AveragedResult:
+    """Seed-averaged metrics for one configuration."""
+
+    protocol: str
+    label: str
+    cost: float
+    avg_tree_depth: float
+    delivery_ratio: float
+    #: Per-node delivery ratios pooled across seeds (Figure 8 boxplots).
+    pooled_node_delivery: List[float] = field(default_factory=list)
+    runs: List[CollectionResult] = field(default_factory=list)
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.label:<18} cost={self.cost:6.2f}  depth={self.avg_tree_depth:5.2f}  "
+            f"delivery={self.delivery_ratio * 100:6.2f}%  ({len(self.runs)} seeds)"
+        )
+
+
+def run_averaged(
+    scale: ExperimentScale,
+    protocol: str,
+    tx_power_dbm: float = 0.0,
+    label: Optional[str] = None,
+    **config_overrides,
+) -> AveragedResult:
+    """Run ``protocol`` across the scale's seeds and average the metrics."""
+    runs = [
+        run_one(scale, protocol, seed, tx_power_dbm, **config_overrides)
+        for seed in scale.seeds
+    ]
+    pooled = [v for r in runs for v in r.delivery_values() if not math.isnan(v)]
+    return AveragedResult(
+        protocol=protocol,
+        label=label or protocol,
+        cost=mean(r.cost for r in runs),
+        avg_tree_depth=mean(r.avg_tree_depth for r in runs),
+        delivery_ratio=mean(r.delivery_ratio for r in runs),
+        pooled_node_delivery=pooled,
+        runs=runs,
+    )
+
+
+def improvement(baseline: float, contender: float) -> float:
+    """Relative reduction of ``contender`` vs ``baseline`` (0.29 = 29% lower)."""
+    if baseline == 0 or math.isinf(baseline) or math.isnan(baseline):
+        return math.nan
+    return (baseline - contender) / baseline

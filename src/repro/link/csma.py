@@ -1,0 +1,42 @@
+"""Unslotted CSMA/CA backoff (802.15.4 § 7.5.1.4 style).
+
+Before each clear-channel assessment the transmitter waits a random number
+of unit backoff periods in ``[0, 2^BE − 1]``.  Every busy CCA raises the
+backoff exponent (capped) and consumes one of the limited attempts; when
+attempts are exhausted the transmission fails with a channel-access error.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.phy.radio import RadioParams
+
+
+class CsmaBackoff:
+    """Backoff state machine for a single frame."""
+
+    def __init__(self, params: RadioParams, rng: random.Random) -> None:
+        self.params = params
+        self.rng = rng
+        self._be = params.min_be
+        self._attempts = 0
+
+    @property
+    def attempts(self) -> int:
+        """CCA rounds consumed so far."""
+        return self._attempts
+
+    def next_delay(self) -> Optional[float]:
+        """Delay before the next CCA, or ``None`` when attempts are exhausted.
+
+        The first call always returns a delay (the initial backoff); the
+        machine permits ``max_csma_backoffs + 1`` CCA rounds in total.
+        """
+        if self._attempts > self.params.max_csma_backoffs:
+            return None
+        slots = self.rng.randrange(2 ** self._be)
+        self._attempts += 1
+        self._be = min(self._be + 1, self.params.max_be)
+        return slots * self.params.backoff_unit_s

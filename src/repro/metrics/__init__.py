@@ -1,0 +1,13 @@
+"""Metrics: collection statistics and per-link time-series probes."""
+
+from repro.metrics.collection_stats import CollectionResult, compute_result
+from repro.metrics.timeseries import BroadcastLog, RxProbe, TxProbe, windowed_prr
+
+__all__ = [
+    "BroadcastLog",
+    "CollectionResult",
+    "RxProbe",
+    "TxProbe",
+    "compute_result",
+    "windowed_prr",
+]

@@ -1,0 +1,6 @@
+"""Network layer: CTP (on the four-bit interfaces) and MultiHopLQI."""
+
+from repro.net.ctp import CtpConfig, CtpProtocol
+from repro.net.multihoplqi import MhlqiConfig, MultiHopLqi, adjust_lqi
+
+__all__ = ["CtpConfig", "CtpProtocol", "MhlqiConfig", "MultiHopLqi", "adjust_lqi"]

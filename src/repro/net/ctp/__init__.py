@@ -1,0 +1,35 @@
+"""Collection Tree Protocol (TEP 123) on the four-bit interfaces."""
+
+from repro.net.ctp.forwarding import CtpForwardingConfig, CtpForwardingEngine, ForwardingStats
+from repro.net.ctp.frames import (
+    DATA_FRAME_BYTES,
+    NO_PARENT,
+    ROUTING_FRAME_BYTES,
+    CtpDataFrame,
+    CtpRoutingFrame,
+    make_data_frame,
+    make_routing_frame,
+)
+from repro.net.ctp.protocol import CtpConfig, CtpProtocol
+from repro.net.ctp.routing import CtpRoutingConfig, CtpRoutingEngine, RouteInfo, RoutingStats
+from repro.net.ctp.trickle import TrickleTimer
+
+__all__ = [
+    "DATA_FRAME_BYTES",
+    "NO_PARENT",
+    "ROUTING_FRAME_BYTES",
+    "CtpConfig",
+    "CtpDataFrame",
+    "CtpForwardingConfig",
+    "CtpForwardingEngine",
+    "CtpProtocol",
+    "CtpRoutingConfig",
+    "CtpRoutingEngine",
+    "CtpRoutingFrame",
+    "ForwardingStats",
+    "RouteInfo",
+    "RoutingStats",
+    "TrickleTimer",
+    "make_data_frame",
+    "make_routing_frame",
+]

@@ -1,0 +1,82 @@
+"""CTP frame formats (TEP 123)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.link.frame import BROADCAST, NetworkFrame
+
+#: CTP routing frame: options(1) + parent(2) + etx(2) + collect id(1).
+ROUTING_FRAME_BYTES = 16
+#: CTP data frame: options(1) + thl(1) + etx(2) + origin(2) + seq(1) +
+#: collect id(1) + application payload (paper workload ≈ 28 bytes).
+DATA_FRAME_BYTES = 36
+
+#: Sentinel for "no parent".
+NO_PARENT = 0xFFFF
+
+
+@dataclass
+class CtpRoutingFrame(NetworkFrame):
+    """Routing beacon: advertises the sender's parent and path ETX."""
+
+    parent: int = NO_PARENT
+    path_etx: float = float("inf")
+    #: The pull bit: sender urgently needs route updates from neighbors.
+    pull: bool = False
+
+    def describe(self) -> str:
+        return f"CtpBeacon(parent={self.parent}, etx={self.path_etx:.2f})"
+
+
+def make_routing_frame(src: int, parent: int, path_etx: float, pull: bool = False) -> CtpRoutingFrame:
+    return CtpRoutingFrame(
+        src=src,
+        dst=BROADCAST,
+        length_bytes=ROUTING_FRAME_BYTES,
+        carries_route_info=True,
+        parent=parent,
+        path_etx=path_etx,
+        pull=pull,
+    )
+
+
+@dataclass
+class CtpDataFrame(NetworkFrame):
+    """Collection data frame."""
+
+    origin: int = 0
+    origin_seq: int = 0
+    #: Time-has-lived: incremented at every hop.
+    thl: int = 0
+    #: The sender's path ETX when it transmitted this frame; a receiver with
+    #: a *higher* cost receiving it is evidence of a routing loop.
+    etx_at_sender: float = float("inf")
+    #: Simulation time the packet was handed to the origin's network layer
+    #: (end-to-end latency instrumentation; a real mote would not carry it).
+    origin_time: float = 0.0
+
+    def describe(self) -> str:
+        return f"CtpData(origin={self.origin}, seq={self.origin_seq}, thl={self.thl})"
+
+
+def make_data_frame(
+    src: int,
+    dst: int,
+    origin: int,
+    origin_seq: int,
+    thl: int,
+    etx_at_sender: float,
+    length_bytes: int = DATA_FRAME_BYTES,
+    origin_time: float = 0.0,
+) -> CtpDataFrame:
+    return CtpDataFrame(
+        src=src,
+        dst=dst,
+        length_bytes=length_bytes,
+        origin=origin,
+        origin_seq=origin_seq,
+        thl=thl,
+        etx_at_sender=etx_at_sender,
+        origin_time=origin_time,
+    )

@@ -1,0 +1,79 @@
+"""Trickle timer for CTP routing beacons.
+
+CTP paces its beacons with a Trickle timer: the interval doubles from
+``i_min`` to ``i_max`` while the topology is consistent, and snaps back to
+``i_min`` on events that demand fast propagation (a pull request, a loop
+detection, the first route acquisition).  CTP does not use Trickle's
+suppression half, only the adaptive interval.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine, EventHandle
+
+
+class TrickleTimer:
+    """Doubling beacon timer with ``[I/2, I]`` jitter."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        callback: Callable[[], None],
+        rng: random.Random,
+        i_min_s: float = 0.125,
+        i_max_s: float = 512.0,
+    ) -> None:
+        if i_min_s <= 0 or i_max_s < i_min_s:
+            raise ValueError(f"bad Trickle bounds: [{i_min_s}, {i_max_s}]")
+        self.engine = engine
+        self.callback = callback
+        self.rng = rng
+        self.i_min_s = i_min_s
+        self.i_max_s = i_max_s
+        self.interval_s = i_min_s
+        self.fires = 0
+        self.resets = 0
+        self._event: Optional[EventHandle] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.interval_s = self.i_min_s
+        self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def reset(self) -> None:
+        """Snap the interval back to ``i_min`` (topology event)."""
+        self.resets += 1
+        if not self._running:
+            self.start()
+            return
+        self.interval_s = self.i_min_s
+        if self._event is not None:
+            self._event.cancel()
+        self._schedule()
+
+    # ------------------------------------------------------------------
+    def _schedule(self) -> None:
+        delay = self.rng.uniform(self.interval_s / 2.0, self.interval_s)
+        self._event = self.engine.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        self._event = None
+        if not self._running:
+            return
+        self.fires += 1
+        self.interval_s = min(self.interval_s * 2.0, self.i_max_s)
+        self._schedule()
+        self.callback()

@@ -1,0 +1,47 @@
+"""Physical layer: radio, channel, modulation, noise, LQI and the white bit."""
+
+from repro.phy.channel import ChannelModel, PathLossModel
+from repro.phy.lqi import DEFAULT_LQI_MODEL, LQI_MAX, LQI_MIN, LqiModel
+from repro.phy.modulation import oqpsk_dsss_ber, prr_from_snr, prr_from_snr_fast, snr_for_prr
+from repro.phy.noise import (
+    BurstParams,
+    MarkovInterferer,
+    WindowedInterferer,
+    apply_hardware_variation,
+)
+from repro.phy.radio import CC2420, Radio, RadioParams
+from repro.phy.trace_link import LinkTrace, TraceMedium
+from repro.phy.white_bit import (
+    DEFAULT_WHITE_BIT,
+    LqiWhiteBit,
+    NeverWhiteBit,
+    SnrWhiteBit,
+    WhiteBitPolicy,
+)
+
+__all__ = [
+    "CC2420",
+    "DEFAULT_LQI_MODEL",
+    "DEFAULT_WHITE_BIT",
+    "LQI_MAX",
+    "LQI_MIN",
+    "BurstParams",
+    "ChannelModel",
+    "LinkTrace",
+    "LqiModel",
+    "LqiWhiteBit",
+    "MarkovInterferer",
+    "NeverWhiteBit",
+    "PathLossModel",
+    "Radio",
+    "RadioParams",
+    "SnrWhiteBit",
+    "TraceMedium",
+    "WhiteBitPolicy",
+    "WindowedInterferer",
+    "apply_hardware_variation",
+    "oqpsk_dsss_ber",
+    "prr_from_snr",
+    "prr_from_snr_fast",
+    "snr_for_prr",
+]

@@ -1,0 +1,193 @@
+"""Wireless channel model: path loss, static shadowing, temporal fading.
+
+The channel gain between two positions is
+
+    gain(a, b, t) = −[PL(d0) + 10·n·log10(d/d0)] + S_ab + X_ab(t)
+
+where ``S_ab`` is static log-normal shadowing (per unordered pair, drawn
+once — the testbeds in the paper are static) and ``X_ab(t)`` is a slow
+Ornstein–Uhlenbeck process capturing the time-varying component of the
+channel (people moving, multipath drift).  Asymmetry between the two
+directions of a link comes from per-node hardware variation (transmit
+power and noise-floor offsets, see :mod:`repro.phy.radio`), matching the
+measurement literature the paper cites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.sim.rng import RngManager
+
+Position = Tuple[float, float]
+
+#: Sentinel distinguishing "not yet decided" from "decided: not bimodal".
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss."""
+
+    pl_d0_db: float = 55.0
+    exponent: float = 3.0
+    d0_m: float = 1.0
+
+    def loss_db(self, distance_m: float) -> float:
+        d = max(distance_m, self.d0_m)
+        return self.pl_d0_db + 10.0 * self.exponent * math.log10(d / self.d0_m)
+
+
+class _OUState:
+    """Lazy Ornstein–Uhlenbeck sample: advanced only when queried."""
+
+    __slots__ = ("t", "x")
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.x = 0.0
+
+
+class _GilbertState:
+    """Lazy two-state (good / deep-fade) process, advanced only when queried."""
+
+    __slots__ = ("t", "faded")
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.faded = False
+
+
+class ChannelModel:
+    """Per-pair channel gains over a set of node positions.
+
+    Positions are registered up front (static network); interferers may be
+    registered later with :meth:`add_position`.
+    """
+
+    def __init__(
+        self,
+        positions: Mapping[int, Position],
+        rng: RngManager,
+        pathloss: PathLossModel = PathLossModel(),
+        shadowing_sigma_db: float = 3.2,
+        temporal_sigma_db: float = 1.5,
+        temporal_tau_s: float = 60.0,
+        bimodal_fraction: float = 0.0,
+        fade_depth_db: float = 15.0,
+        fade_dwell_s: float = 80.0,
+        good_dwell_s: float = 240.0,
+    ) -> None:
+        self.positions: Dict[int, Position] = dict(positions)
+        self.pathloss = pathloss
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.temporal_sigma_db = temporal_sigma_db
+        self.temporal_tau_s = temporal_tau_s
+        #: Fraction of pairs that are *bimodal*: they alternate between their
+        #: nominal gain and a deep multipath fade (Srinivasan et al., the
+        #: paper's reference [19]).  During a fade PRR collapses to ~0 while
+        #: the few packets that do get through still decode cleanly — the
+        #: temporal variation physical-layer indicators cannot flag.
+        self.bimodal_fraction = bimodal_fraction
+        self.fade_depth_db = fade_depth_db
+        self.fade_dwell_s = fade_dwell_s
+        self.good_dwell_s = good_dwell_s
+        self._rng = rng
+        self._shadowing: Dict[Tuple[int, int], float] = {}
+        self._ou: Dict[Tuple[int, int], _OUState] = {}
+        self._gilbert: Dict[Tuple[int, int], Optional[_GilbertState]] = {}
+
+    # ------------------------------------------------------------------
+    def add_position(self, node_id: int, pos: Position) -> None:
+        """Register a late participant (e.g. an external interferer)."""
+        if node_id in self.positions:
+            raise ValueError(f"duplicate node id {node_id}")
+        self.positions[node_id] = pos
+
+    def distance(self, a: int, b: int) -> float:
+        (ax, ay), (bx, by) = self.positions[a], self.positions[b]
+        return math.hypot(ax - bx, ay - by)
+
+    # ------------------------------------------------------------------
+    def _pair(self, a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def _static_shadowing_db(self, a: int, b: int) -> float:
+        key = self._pair(a, b)
+        if key not in self._shadowing:
+            stream = self._rng.stream("shadow", key[0], key[1])
+            self._shadowing[key] = stream.gauss(0.0, self.shadowing_sigma_db)
+        return self._shadowing[key]
+
+    def temporal_db(self, a: int, b: int, t: float) -> float:
+        """Time-varying gain component (OU process), advanced lazily to ``t``."""
+        if self.temporal_sigma_db <= 0.0:
+            return 0.0
+        key = self._pair(a, b)
+        state = self._ou.get(key)
+        if state is None:
+            state = _OUState()
+            stream = self._rng.stream("ou-init", key[0], key[1])
+            state.x = stream.gauss(0.0, self.temporal_sigma_db)
+            state.t = t
+            self._ou[key] = state
+            return state.x
+        dt = t - state.t
+        # Sub-millisecond-scale queries (acks, back-to-back receptions) see
+        # an effectively frozen channel; skip the update below 1% of tau.
+        if dt > 0.01 * self.temporal_tau_s:
+            decay = math.exp(-dt / self.temporal_tau_s)
+            innovation_sigma = self.temporal_sigma_db * math.sqrt(max(0.0, 1.0 - decay * decay))
+            stream = self._rng.stream("ou", key[0], key[1])
+            state.x = state.x * decay + stream.gauss(0.0, innovation_sigma)
+            state.t = t
+        return state.x
+
+    def _fade_db(self, a: int, b: int, t: float) -> float:
+        """Deep-fade contribution of a bimodal pair (0 for normal pairs)."""
+        if self.bimodal_fraction <= 0.0:
+            return 0.0
+        key = self._pair(a, b)
+        state = self._gilbert.get(key, _MISSING)
+        if state is _MISSING:
+            stream = self._rng.stream("bimodal", key[0], key[1])
+            if stream.random() < self.bimodal_fraction:
+                state = _GilbertState()
+                state.t = t
+                # Start in the good state with the stationary probability.
+                p_good = self.good_dwell_s / (self.good_dwell_s + self.fade_dwell_s)
+                state.faded = stream.random() >= p_good
+            else:
+                state = None
+            self._gilbert[key] = state
+        if state is None:
+            return 0.0
+        # Lazily replay exponential state flips from the last query to t.
+        stream = self._rng.stream("bimodal-dwell", key[0], key[1])
+        while True:
+            dwell_mean = self.fade_dwell_s if state.faded else self.good_dwell_s
+            dwell = stream.expovariate(1.0 / dwell_mean)
+            if state.t + dwell > t:
+                break
+            state.t += dwell
+            state.faded = not state.faded
+        return -self.fade_depth_db if state.faded else 0.0
+
+    # ------------------------------------------------------------------
+    def mean_gain_db(self, a: int, b: int) -> float:
+        """Time-invariant part of the gain (path loss + static shadowing)."""
+        return -self.pathloss.loss_db(self.distance(a, b)) + self._static_shadowing_db(a, b)
+
+    def gain_db(self, a: int, b: int, t: float) -> float:
+        """Instantaneous channel gain (symmetric) at simulated time ``t``."""
+        return self.mean_gain_db(a, b) + self.temporal_db(a, b, t) + self._fade_db(a, b, t)
+
+    def instantaneous_extra_db(self, a: int, b: int, t: float) -> float:
+        """All time-varying gain components (OU fading + bimodal deep fades).
+
+        The medium adds this to a cached mean gain, avoiding recomputing
+        path loss and shadowing on every reception.
+        """
+        return self.temporal_db(a, b, t) + self._fade_db(a, b, t)

@@ -1,0 +1,159 @@
+"""Noise environment: hardware variation and external burst interference.
+
+Two phenomena the paper leans on live here:
+
+* **Hardware variation** — per-mote transmit-power and noise-floor offsets,
+  which make links asymmetric (Section 1 cites Zuniga & Krishnamachari).
+* **Burst interferers** — external 2.4 GHz transmitters (802.11-style) that
+  destroy overlapping packets wholesale.  Because destroyed packets are
+  never received, they leave no LQI sample; the surviving packets still
+  report a clean channel.  This is the exact failure mode of Figure 3
+  (PRR drops from 0.9 to 0.6 while received-packet LQI stays high).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.link.frame import BROADCAST, JamFrame
+from repro.phy.radio import Radio, RadioParams
+from repro.sim.engine import Engine
+from repro.sim.medium import RadioMedium
+
+#: Interferer node ids live far above real node ids.
+INTERFERER_ID_BASE = 100_000
+
+
+def apply_hardware_variation(
+    radios: Iterable[Radio],
+    rng: random.Random,
+    tx_power_sigma_db: float = 1.0,
+    noise_floor_sigma_db: float = 1.5,
+    nominal_noise_floor_dbm: float = -98.0,
+) -> None:
+    """Draw per-node transmit-power and noise-floor offsets."""
+    for radio in radios:
+        radio.tx_power_offset_db = rng.gauss(0.0, tx_power_sigma_db)
+        radio.noise_floor_dbm = nominal_noise_floor_dbm + rng.gauss(0.0, noise_floor_sigma_db)
+
+
+@dataclass(frozen=True)
+class BurstParams:
+    """Shape of an interferer's traffic while active."""
+
+    #: Jam burst airtime bounds (uniform), seconds.  802.11 frames at 2.4 GHz
+    #: occupy the channel for hundreds of µs to a few ms.
+    burst_min_s: float = 0.5e-3
+    burst_max_s: float = 4e-3
+    #: Mean gap between bursts while active (exponential), seconds.
+    gap_mean_s: float = 8e-3
+
+
+class _InterfererBase:
+    """Common burst machinery.  Subclasses decide *when* the source is active.
+
+    The interferer is attached to the medium as a transmit-only participant;
+    its bursts raise the interference floor at nearby receivers for their
+    duration, corrupting overlapping packets via the SINR computation.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        medium: RadioMedium,
+        node_id: int,
+        power_dbm: float,
+        rng: random.Random,
+        burst: BurstParams = BurstParams(),
+        params: Optional[RadioParams] = None,
+    ) -> None:
+        self.engine = engine
+        self.medium = medium
+        self.node_id = node_id
+        self.radio = Radio(node_id=node_id, params=params or RadioParams(), tx_power_dbm=power_dbm)
+        self.rng = rng
+        self.burst = burst
+        self.bursts_sent = 0
+        medium.attach(self, receiver=False)
+
+    # Transmit-only participant: never receives.
+    def on_frame_received(self, frame, info) -> None:  # pragma: no cover
+        raise AssertionError("interferers do not receive")
+
+    def _emit_burst(self) -> float:
+        duration = self.rng.uniform(self.burst.burst_min_s, self.burst.burst_max_s)
+        length_bytes = max(4, int(duration * self.radio.params.bitrate_bps / 8))
+        frame = JamFrame(src=self.node_id, dst=BROADCAST, length_bytes=length_bytes)
+        self.medium.start_transmission(self.node_id, frame)
+        self.bursts_sent += 1
+        return duration
+
+    def _burst_loop(self, active_until: float) -> None:
+        if self.engine.now >= active_until:
+            return
+        duration = self._emit_burst()
+        gap = self.rng.expovariate(1.0 / self.burst.gap_mean_s)
+        self.engine.schedule(duration + gap, self._burst_loop, active_until)
+
+
+class WindowedInterferer(_InterfererBase):
+    """Interferer active during explicit ``(start, end)`` windows.
+
+    Used by the Figure 3 experiment to place a burst-loss episode at a known
+    point in the run.
+    """
+
+    def __init__(self, *args, windows: Sequence[Tuple[float, float]], **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.windows = sorted(windows)
+
+    def start(self) -> None:
+        for begin, end in self.windows:
+            if end <= begin:
+                raise ValueError(f"bad window: ({begin}, {end})")
+            self.engine.schedule_at(begin, self._burst_loop, end)
+
+
+class MarkovInterferer(_InterfererBase):
+    """Interferer that alternates exponential OFF/ON periods (Gilbert–Elliott)."""
+
+    def __init__(self, *args, off_mean_s: float = 120.0, on_mean_s: float = 20.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.off_mean_s = off_mean_s
+        self.on_mean_s = on_mean_s
+
+    def start(self) -> None:
+        self.engine.schedule(self.rng.expovariate(1.0 / self.off_mean_s), self._activate)
+
+    def _activate(self) -> None:
+        active_for = self.rng.expovariate(1.0 / self.on_mean_s)
+        self._burst_loop(self.engine.now + active_for)
+        next_off = self.rng.expovariate(1.0 / self.off_mean_s)
+        self.engine.schedule(active_for + next_off, self._activate)
+
+
+def place_interferers(
+    engine: Engine,
+    medium: RadioMedium,
+    positions: List[Tuple[float, float]],
+    power_dbm: float,
+    rng_factory,
+    kind: str = "markov",
+    **kwargs,
+) -> List[_InterfererBase]:
+    """Create and register interferers at the given positions."""
+    out: List[_InterfererBase] = []
+    for i, pos in enumerate(positions):
+        nid = INTERFERER_ID_BASE + i
+        medium.channel.add_position(nid, pos)
+        rng = rng_factory("interferer", i)
+        if kind == "markov":
+            source: _InterfererBase = MarkovInterferer(engine, medium, nid, power_dbm, rng, **kwargs)
+        elif kind == "windowed":
+            source = WindowedInterferer(engine, medium, nid, power_dbm, rng, **kwargs)
+        else:
+            raise ValueError(f"unknown interferer kind: {kind}")
+        out.append(source)
+    return out

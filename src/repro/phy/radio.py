@@ -1,0 +1,87 @@
+"""Radio parameters and per-node radio state.
+
+Defaults model a CC2420-class 802.15.4 radio (MicaZ / TelosB motes, the
+hardware used on the paper's Mirage and Tutornet testbeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RadioParams:
+    """Static parameters shared by all radios of one hardware class."""
+
+    #: Key into :data:`repro.phy.modulation.BER_MODELS`.
+    modulation: str = "oqpsk-dsss"
+    bitrate_bps: float = 250_000.0
+    #: PHY synchronization header: 4B preamble + 1B SFD + 1B length.
+    phy_overhead_bytes: int = 6
+    #: 802.15.4 immediate ack MPDU (PHY header added by :meth:`airtime`).
+    ack_mpdu_bytes: int = 5
+    #: RX/TX turnaround before the ack goes out (aTurnaroundTime, 192 µs).
+    turnaround_s: float = 192e-6
+    #: How long a sender waits for an ack before declaring failure
+    #: (turnaround + 11-byte ack airtime = 544 µs, plus margin).
+    ack_timeout_s: float = 1.2e-3
+    #: Clear-channel-assessment threshold (dBm).
+    cca_threshold_dbm: float = -77.0
+    #: Below this mean RSSI a link is treated as nonexistent by the medium
+    #: (reception probability is negligible); purely an optimization bound.
+    sensitivity_dbm: float = -100.0
+    #: Thermal noise floor for a nominal radio (dBm).
+    noise_floor_dbm: float = -98.0
+    #: Unit CSMA backoff period (aUnitBackoffPeriod = 20 symbols = 320 µs).
+    backoff_unit_s: float = 320e-6
+    min_be: int = 3
+    max_be: int = 5
+    max_csma_backoffs: int = 4
+
+    def airtime(self, mac_length_bytes: int) -> float:
+        """On-air duration of a frame with ``mac_length_bytes`` MAC bytes."""
+        total = mac_length_bytes + self.phy_overhead_bytes
+        return total * 8.0 / self.bitrate_bps
+
+
+#: Shared default parameter set (CC2420: MicaZ / TelosB, 802.15.4).
+CC2420 = RadioParams()
+
+#: CC1000 (Mica2): 19.2 kbps non-coherent FSK, long preamble, no LQI.
+#: Its wider SNR transition region produces the famously gray Mica2 links;
+#: because the radio exposes no decode-quality indicator, stacks built on
+#: it should use an SNR-derived white bit or none at all (the paper's
+#: "worst case" hardware).
+CC1000 = RadioParams(
+    modulation="ncfsk",
+    bitrate_bps=19_200.0,
+    phy_overhead_bytes=10,
+    ack_mpdu_bytes=5,
+    turnaround_s=250e-6,
+    ack_timeout_s=8e-3,
+    cca_threshold_dbm=-85.0,
+    sensitivity_dbm=-101.0,
+    noise_floor_dbm=-105.0,
+    backoff_unit_s=420e-6,
+)
+
+
+@dataclass
+class Radio:
+    """Per-node radio state: transmit power and calibrated noise floor.
+
+    Hardware variation across motes (the paper's reference [24]) is modeled
+    by per-node offsets to transmit power and noise floor, which is what
+    creates link asymmetry.
+    """
+
+    node_id: int
+    params: RadioParams = field(default_factory=lambda: CC2420)
+    tx_power_dbm: float = 0.0
+    #: Per-node offset applied on top of tx_power_dbm (hardware variation).
+    tx_power_offset_db: float = 0.0
+    noise_floor_dbm: float = -98.0
+
+    @property
+    def effective_tx_power_dbm(self) -> float:
+        return self.tx_power_dbm + self.tx_power_offset_db

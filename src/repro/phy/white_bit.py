@@ -1,0 +1,67 @@
+"""White-bit derivations — the physical layer's one bit.
+
+The paper (Section 3.2) describes several valid derivations depending on
+what the hardware exposes:
+
+* signal-to-noise ratio against a threshold from the SNR/BER curve;
+* chip-correlation / recovered-bit-error counts (the CC2420 LQI);
+* in the worst case, hardware exposes nothing and the bit is never set.
+
+All derivations share one contract: a **set** white bit implies the medium
+quality during reception was high; a **clear** bit implies nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.modulation import snr_for_prr
+
+
+class WhiteBitPolicy:
+    """Interface: decide the white bit from per-packet PHY measurements."""
+
+    def evaluate(self, snr_db: float, lqi: int) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LqiWhiteBit(WhiteBitPolicy):
+    """Set the white bit when LQI clears a threshold.
+
+    This mirrors the TinyOS 2 CC2420 implementation of the 4-bit interface,
+    which sets the bit for LQI ≥ 105 (chip correlation near its ceiling).
+    """
+
+    threshold: int = 105
+
+    def evaluate(self, snr_db: float, lqi: int) -> bool:
+        return lqi >= self.threshold
+
+
+@dataclass(frozen=True)
+class SnrWhiteBit(WhiteBitPolicy):
+    """Set the white bit when per-packet SNR clears a threshold."""
+
+    threshold_db: float = 8.0
+
+    def evaluate(self, snr_db: float, lqi: int) -> bool:
+        return snr_db >= self.threshold_db
+
+    @classmethod
+    def from_prr_target(cls, target_prr: float = 0.999, length_bytes: int = 100) -> "SnrWhiteBit":
+        """Derive the threshold from the SNR/BER curve, as the paper suggests
+        for radios that report signal strength and noise."""
+        return cls(threshold_db=snr_for_prr(target_prr, length_bytes))
+
+
+@dataclass(frozen=True)
+class NeverWhiteBit(WhiteBitPolicy):
+    """Worst case: the radio provides no channel-quality information."""
+
+    def evaluate(self, snr_db: float, lqi: int) -> bool:
+        return False
+
+
+#: Default derivation used by the simulated CC2420 stack.
+DEFAULT_WHITE_BIT = LqiWhiteBit()

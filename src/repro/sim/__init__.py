@@ -1,0 +1,44 @@
+"""Discrete-event simulator: engine, RNG streams, medium, network builder.
+
+The heavyweight members (``RadioMedium``, ``CollectionNetwork``, ...) are
+loaded lazily: they depend on :mod:`repro.phy`, whose modules in turn import
+:mod:`repro.sim.rng`, and an eager import here would close that cycle while
+this package is still initializing.
+"""
+
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.packets import RxInfo, TxResult
+from repro.sim.rng import RngManager, derive_seed
+
+__all__ = [
+    "PROTOCOLS",
+    "CollectionNetwork",
+    "Engine",
+    "EventHandle",
+    "Node",
+    "RadioMedium",
+    "RngManager",
+    "RxInfo",
+    "SimConfig",
+    "TxResult",
+    "derive_seed",
+]
+
+_LAZY = {
+    "RadioMedium": ("repro.sim.medium", "RadioMedium"),
+    "CollectionNetwork": ("repro.sim.network", "CollectionNetwork"),
+    "SimConfig": ("repro.sim.network", "SimConfig"),
+    "PROTOCOLS": ("repro.sim.network", "PROTOCOLS"),
+    "Node": ("repro.sim.node", "Node"),
+    "Tracer": ("repro.sim.trace", "Tracer"),
+    "instrument_network": ("repro.sim.trace", "instrument_network"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

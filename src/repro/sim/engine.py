@@ -1,0 +1,114 @@
+"""A minimal, fast discrete-event simulation engine.
+
+Events are ``(time, sequence)``-ordered callbacks on a binary heap.  The
+sequence number makes ordering of same-time events deterministic (FIFO in
+scheduling order), which keeps whole simulations bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """Handle returned by :meth:`Engine.schedule`; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "canceled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.canceled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.canceled = True
+        self.fn = None  # release references early
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "canceled" if self.canceled else "pending"
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Engine:
+    """Discrete-event scheduler with a monotonic simulated clock (seconds)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        handle = EventHandle(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly canceled) events."""
+        return len(self._queue)
+
+    @property
+    def events_run(self) -> int:
+        """Number of events executed so far."""
+        return self._events_run
+
+    def step(self) -> bool:
+        """Run the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.canceled:
+                continue
+            self.now = handle.time
+            fn, args = handle.fn, handle.args
+            handle.fn, handle.args = None, ()  # break cycles
+            self._events_run += 1
+            assert fn is not None
+            fn(*args)
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> None:
+        """Run all events with time ≤ ``t_end``; advance clock to ``t_end``."""
+        while self._queue:
+            head = self._queue[0]
+            if head.canceled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > t_end:
+                break
+            self.step()
+        self.now = max(self.now, t_end)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``); return events run."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count

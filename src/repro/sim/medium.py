@@ -1,0 +1,247 @@
+"""Shared radio medium: propagation, carrier sense, collisions, capture.
+
+Every transmission (data, beacons, acks, interference bursts) goes through
+the medium.  At the end of each transmission the medium evaluates, for every
+candidate receiver, whether the frame was decodable given
+
+* the instantaneous channel gain (path loss + shadowing + temporal fading),
+* the receiver's noise floor,
+* interference from every other transmission overlapping in time (SINR).
+
+Packets that decode are delivered upward with an :class:`~repro.sim.packets.RxInfo`
+carrying the measured SINR, a sampled LQI and the derived white bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.link.frame import AckFrame, Frame, JamFrame
+from repro.phy.channel import ChannelModel
+from repro.phy.lqi import DEFAULT_LQI_MODEL, LqiModel
+from repro.phy.modulation import prr_fast
+from repro.phy.radio import Radio, RadioParams
+from repro.phy.white_bit import DEFAULT_WHITE_BIT, WhiteBitPolicy
+from repro.sim.engine import Engine
+from repro.sim.packets import RxInfo
+from repro.sim.rng import RngManager
+
+#: Mean-SNR margin (dB) below which a potential receiver is pruned from the
+#: candidate list.  At −15 dB below the noise floor the reception probability
+#: is indistinguishable from zero for any frame length.
+_NEIGHBOR_SNR_CUTOFF_DB = -15.0
+
+#: Extra margin for the carrier-sense candidate list (CCA threshold sits far
+#: above sensitivity, so the reception list already covers it).
+_MW_PER_DBM_CACHE: Dict[float, float] = {}
+
+
+def _dbm_to_mw(dbm: float) -> float:
+    mw = _MW_PER_DBM_CACHE.get(dbm)
+    if mw is None:
+        mw = 10.0 ** (dbm / 10.0)
+        _MW_PER_DBM_CACHE[dbm] = mw
+    return mw
+
+
+class MediumParticipant(Protocol):
+    """What the medium needs from an attached entity."""
+
+    node_id: int
+    radio: Radio
+
+    def on_frame_received(self, frame: Frame, info: RxInfo) -> None:  # pragma: no cover
+        ...
+
+
+class _Transmission:
+    __slots__ = ("sender", "frame", "power_dbm", "start", "end")
+
+    def __init__(self, sender: int, frame: Frame, power_dbm: float, start: float, end: float):
+        self.sender = sender
+        self.frame = frame
+        self.power_dbm = power_dbm
+        self.start = start
+        self.end = end
+
+
+class RadioMedium:
+    """The shared channel all attached radios transmit into."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        channel: ChannelModel,
+        rng: RngManager,
+        lqi_model: LqiModel = DEFAULT_LQI_MODEL,
+        white_bit_policy: WhiteBitPolicy = DEFAULT_WHITE_BIT,
+    ) -> None:
+        self.engine = engine
+        self.channel = channel
+        self.lqi_model = lqi_model
+        self.white_bit_policy = white_bit_policy
+        self._rng = rng
+        self._participants: Dict[int, MediumParticipant] = {}
+        self._receivers: Dict[int, MediumParticipant] = {}
+        self._active: List[_Transmission] = []
+        self._recent: List[_Transmission] = []
+        #: sender -> [(receiver, cached mean gain dB)] candidate lists.
+        self._candidates: Dict[int, List[Tuple[int, float]]] = {}
+        self._finalized = False
+        # Statistics.
+        self.transmissions = 0
+        self.deliveries = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def attach(self, participant: MediumParticipant, receiver: bool = True) -> None:
+        """Register a participant.  ``receiver=False`` for interference-only
+        transmitters (they never decode frames)."""
+        nid = participant.node_id
+        if nid in self._participants:
+            raise ValueError(f"node {nid} already attached")
+        self._participants[nid] = participant
+        if receiver:
+            self._receivers[nid] = participant
+        self._finalized = False
+
+    def finalize(self) -> None:
+        """Precompute candidate receiver lists from mean channel gains.
+
+        Must be called after all participants are attached and transmit
+        powers are set, before the simulation starts.
+        """
+        self._candidates = {}
+        for sid, sender in self._participants.items():
+            ptx = sender.radio.effective_tx_power_dbm
+            row: List[Tuple[int, float]] = []
+            for rid, receiver in self._receivers.items():
+                if rid == sid:
+                    continue
+                gain = self.channel.mean_gain_db(sid, rid)
+                mean_snr = ptx + gain - receiver.radio.noise_floor_dbm
+                if mean_snr >= _NEIGHBOR_SNR_CUTOFF_DB:
+                    row.append((rid, gain))
+            self._candidates[sid] = row
+        self._finalized = True
+
+    def candidate_receivers(self, sender: int) -> List[Tuple[int, float]]:
+        """(receiver, mean gain dB) pairs reachable from ``sender``."""
+        if not self._finalized:
+            self.finalize()
+        return self._candidates.get(sender, [])
+
+    # ------------------------------------------------------------------
+    # Carrier sense
+    # ------------------------------------------------------------------
+    def channel_clear(self, node_id: int) -> bool:
+        """CCA at ``node_id``: no active transmission above the threshold."""
+        listener = self._participants[node_id]
+        threshold = listener.radio.params.cca_threshold_dbm
+        now = self.engine.now
+        for tx in self._active:
+            if tx.sender == node_id:
+                continue
+            rssi = tx.power_dbm + self.channel.gain_db(tx.sender, node_id, now)
+            if rssi >= threshold:
+                return False
+        return True
+
+    def is_transmitting(self, node_id: int) -> bool:
+        return any(tx.sender == node_id for tx in self._active)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def start_transmission(self, sender_id: int, frame: Frame) -> float:
+        """Put ``frame`` on the air; returns its airtime in seconds."""
+        if not self._finalized:
+            self.finalize()
+        sender = self._participants[sender_id]
+        params = sender.radio.params
+        duration = params.airtime(frame.length_bytes)
+        now = self.engine.now
+        tx = _Transmission(sender_id, frame, sender.radio.effective_tx_power_dbm, now, now + duration)
+        self._active.append(tx)
+        self.transmissions += 1
+        self.engine.schedule(duration, self._end_transmission, tx)
+        return duration
+
+    def _end_transmission(self, tx: _Transmission) -> None:
+        self._active.remove(tx)
+        self._recent.append(tx)
+        self._evaluate_receptions(tx)
+        self._prune_recent()
+
+    def _prune_recent(self) -> None:
+        # Keep only transmissions that could still overlap something active.
+        horizon = self.engine.now - 0.25
+        if len(self._recent) > 64:
+            self._recent = [t for t in self._recent if t.end >= horizon]
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+    def _overlapping(self, tx: _Transmission) -> List[_Transmission]:
+        """All other transmissions overlapping ``tx`` in time."""
+        out = []
+        for other in self._active:
+            if other is not tx and other.start < tx.end and other.end > tx.start:
+                out.append(other)
+        for other in self._recent:
+            if other is not tx and other.start < tx.end and other.end > tx.start:
+                out.append(other)
+        return out
+
+    def _evaluate_receptions(self, tx: _Transmission) -> None:
+        if isinstance(tx.frame, JamFrame):
+            return  # nobody decodes interference
+        overlapping = self._overlapping(tx)
+        t = tx.end
+        params: RadioParams = self._participants[tx.sender].radio.params
+        frame_bytes = tx.frame.length_bytes + params.phy_overhead_bytes
+        for rid, mean_gain in self.candidate_receivers(tx.sender):
+            receiver = self._receivers[rid]
+            # Half duplex: a node transmitting during any part of the frame
+            # cannot receive it.
+            if self._was_transmitting(rid, tx.start, tx.end):
+                continue
+            gain = mean_gain + self.channel.instantaneous_extra_db(tx.sender, rid, t)
+            rssi = tx.power_dbm + gain
+            noise_mw = _dbm_to_mw(receiver.radio.noise_floor_dbm)
+            interference_mw = 0.0
+            for other in overlapping:
+                other_rssi = other.power_dbm + self.channel.gain_db(other.sender, rid, t)
+                interference_mw += 10.0 ** (other_rssi / 10.0)
+            sinr_db = rssi - 10.0 * math.log10(noise_mw + interference_mw)
+            prr = prr_fast(receiver.radio.params.modulation, sinr_db, frame_bytes)
+            stream = self._rng.stream("rx", rid)
+            if stream.random() >= prr:
+                if interference_mw > noise_mw:
+                    self.collisions += 1
+                continue
+            lqi = self.lqi_model.sample(sinr_db, stream)
+            info = RxInfo(
+                timestamp=t,
+                rssi_dbm=rssi,
+                snr_db=sinr_db,
+                lqi=lqi,
+                white_bit=self.white_bit_policy.evaluate(sinr_db, lqi),
+            )
+            self.deliveries += 1
+            receiver.on_frame_received(tx.frame, info)
+
+    def _was_transmitting(self, node_id: int, start: float, end: float) -> bool:
+        for tx in self._active:
+            if tx.sender == node_id and tx.start < end and tx.end > start:
+                return True
+        for tx in self._recent:
+            if tx.sender == node_id and tx.start < end and tx.end > start:
+                return True
+        return False
+
+
+__all__ = ["RadioMedium", "MediumParticipant", "AckFrame"]

@@ -1,0 +1,300 @@
+"""End-to-end collection simulation builder.
+
+``CollectionNetwork`` assembles a full testbed run: channel + medium from a
+topology (optionally a :class:`~repro.topology.testbeds.TestbedProfile`),
+one protocol stack per node, external interferers, the collection workload
+and the sink recorder.  ``run()`` executes it and returns a
+:class:`~repro.metrics.collection_stats.CollectionResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.estimator import EstimatorConfig, HybridLinkEstimator
+from repro.estimators.presets import PRESETS
+from repro.link.mac import Mac
+from repro.metrics.collection_stats import CollectionResult, compute_result
+from repro.net.ctp.protocol import CtpConfig, CtpProtocol
+from repro.net.multihoplqi import MhlqiConfig, MultiHopLqi
+from repro.phy.channel import ChannelModel, PathLossModel
+from repro.phy.noise import MarkovInterferer, INTERFERER_ID_BASE, apply_hardware_variation
+from repro.phy.radio import CC2420, Radio, RadioParams
+from repro.phy.white_bit import LqiWhiteBit, NeverWhiteBit, SnrWhiteBit
+from repro.sim.engine import Engine
+from repro.sim.medium import RadioMedium
+from repro.sim.node import Node
+from repro.sim.rng import RngManager
+from repro.topology.generators import Topology
+from repro.topology.testbeds import TestbedProfile
+from repro.workloads.collection import CollectionSource, SinkRecorder, WorkloadConfig
+
+#: Protocols the harness knows how to build.  The CTP variants and "geo"
+#: share the estimator engine (with different presets); "mhlqi" is its own
+#: stack with no estimator.
+PROTOCOLS = ("ctp", "ctp-unconstrained", "ctp-unidir", "ctp-white", "4b", "mhlqi", "geo")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One collection run."""
+
+    protocol: str = "4b"
+    tx_power_dbm: float = 0.0
+    seed: int = 1
+    duration_s: float = 600.0
+    #: Depth sampling starts after the warmup (trees need time to form).
+    warmup_s: float = 120.0
+    #: Sources stop this long before the end so in-flight packets drain.
+    drain_s: float = 30.0
+    tree_sample_period_s: float = 30.0
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: Additional basestations beyond the topology's sink.  Collection is
+    #: anycast: a packet counts as delivered at whichever root hears it
+    #: first (the paper's traffic model, Section 2).
+    extra_sinks: Tuple[int, ...] = ()
+    #: Override the preset estimator configuration (ablations).
+    estimator_config: Optional[EstimatorConfig] = None
+    #: ``None`` = timing constants auto-scaled to the radio's airtime.
+    ctp_config: Optional[CtpConfig] = None
+    mhlqi_config: Optional[MhlqiConfig] = None
+    with_interferers: bool = True
+    #: Radio hardware class for every node (e.g. ``repro.phy.radio.CC1000``).
+    radio_params: RadioParams = CC2420
+    #: White-bit derivation: "lqi" (CC2420 chip correlation), "snr"
+    #: (signal/noise threshold), or "never" (hardware provides nothing —
+    #: the paper's worst case, appropriate for CC1000).
+    white_bit: str = "lqi"
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}")
+        if self.duration_s <= self.warmup_s:
+            raise ValueError("duration must exceed warmup")
+        if self.white_bit not in ("lqi", "snr", "never"):
+            raise ValueError(f"unknown white-bit policy {self.white_bit!r}")
+
+
+class CollectionNetwork:
+    """A fully wired simulated testbed."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SimConfig,
+        profile: Optional[TestbedProfile] = None,
+        channel_overrides: Optional[dict] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.profile = profile
+        self._channel_overrides = channel_overrides or {}
+        self.engine = Engine()
+        self.rng = RngManager(config.seed)
+        self.channel = self._build_channel()
+        white_policies = {
+            "lqi": LqiWhiteBit(),
+            "snr": SnrWhiteBit.from_prr_target(),
+            "never": NeverWhiteBit(),
+        }
+        self.medium = RadioMedium(
+            self.engine,
+            self.channel,
+            self.rng,
+            white_bit_policy=white_policies[config.white_bit],
+        )
+        self.sink = SinkRecorder()
+        self.nodes: Dict[int, Node] = {}
+        self.interferers: List[MarkovInterferer] = []
+        self._depth_samples: List[Dict[int, Optional[int]]] = []
+        self._build_nodes()
+        self._build_interferers()
+        apply_hardware_variation(
+            [n.radio for n in self.nodes.values()],
+            self.rng.stream("hardware"),
+            tx_power_sigma_db=profile.tx_power_sigma_db if profile else 1.0,
+            noise_floor_sigma_db=profile.noise_floor_sigma_db if profile else 1.5,
+            nominal_noise_floor_dbm=config.radio_params.noise_floor_dbm,
+        )
+        self.medium.finalize()
+        self._schedule_boot()
+        self._schedule_tree_sampling()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_channel(self) -> ChannelModel:
+        profile = self.profile
+        kwargs = {}
+        if profile is not None:
+            kwargs = dict(
+                pathloss=profile.pathloss,
+                shadowing_sigma_db=profile.shadowing_sigma_db,
+                temporal_sigma_db=profile.temporal_sigma_db,
+                temporal_tau_s=profile.temporal_tau_s,
+                bimodal_fraction=profile.bimodal_fraction,
+                fade_depth_db=profile.fade_depth_db,
+                fade_dwell_s=profile.fade_dwell_s,
+                good_dwell_s=profile.good_dwell_s,
+            )
+        kwargs.update(self._channel_overrides)
+        return ChannelModel(self.topology.positions, self.rng.fork("channel"), **kwargs)
+
+    @property
+    def roots(self) -> Tuple[int, ...]:
+        return (self.topology.sink,) + tuple(self.config.extra_sinks)
+
+    def _build_nodes(self) -> None:
+        for nid in self.topology.node_ids():
+            is_root = nid in self.roots
+            radio = Radio(
+                node_id=nid,
+                params=self.config.radio_params,
+                tx_power_dbm=self.config.tx_power_dbm,
+                noise_floor_dbm=self.config.radio_params.noise_floor_dbm,
+            )
+            mac = Mac(self.engine, self.medium, radio, self.rng.stream("mac", nid))
+            protocol, estimator = self._build_stack(mac, nid, is_root)
+            source = None
+            if not is_root:
+                source = CollectionSource(
+                    self.engine,
+                    nid,
+                    protocol.send_from_app,
+                    self.rng.stream("app", nid),
+                    self.config.workload,
+                )
+            boot = 0.0 if is_root else self.rng.stream("boot", nid).uniform(
+                0.0, self.config.workload.boot_stagger_s
+            )
+            self.nodes[nid] = Node(
+                node_id=nid,
+                radio=radio,
+                mac=mac,
+                protocol=protocol,
+                estimator=estimator,
+                source=source,
+                boot_time=boot,
+            )
+            self.medium.attach(mac)
+            if is_root:
+                self._wire_sink(protocol)
+
+    def _build_stack(self, mac: Mac, nid: int, is_root: bool):
+        name = self.config.protocol
+        radio_params = self.config.radio_params
+        if name == "mhlqi":
+            mhlqi_config = self.config.mhlqi_config or MhlqiConfig.scaled_for(radio_params)
+            protocol = MultiHopLqi(
+                self.engine, mac, nid, is_root, self.rng.stream("net", nid), mhlqi_config
+            )
+            return protocol, None
+        if name == "geo":
+            from repro.estimators.presets import four_bit
+            from repro.net.geographic import GreedyGeoProtocol
+
+            est_config = self.config.estimator_config or four_bit()
+            estimator = HybridLinkEstimator(mac, est_config, self.rng.stream("est", nid))
+            protocol = GreedyGeoProtocol(
+                self.engine,
+                estimator,
+                nid,
+                position=self.topology.positions[nid],
+                sink_position=self.topology.positions[self.topology.sink],
+                is_root=is_root,
+                rng=self.rng.stream("net", nid),
+            )
+            return protocol, estimator
+        est_config = self.config.estimator_config or PRESETS[name]
+        estimator = HybridLinkEstimator(mac, est_config, self.rng.stream("est", nid))
+        ctp_config = self.config.ctp_config or CtpConfig.scaled_for(radio_params)
+        protocol = CtpProtocol(
+            self.engine, estimator, nid, is_root, self.rng.stream("net", nid), ctp_config
+        )
+        return protocol, estimator
+
+    def _wire_sink(self, protocol) -> None:
+        if hasattr(protocol, "forwarding"):
+            protocol.forwarding.on_deliver = self.sink.on_deliver
+        else:
+            protocol.on_deliver = self.sink.on_deliver
+
+    def _build_interferers(self) -> None:
+        if not self.config.with_interferers or self.profile is None:
+            return
+        for i, spec in enumerate(self.profile.interferers):
+            nid = INTERFERER_ID_BASE + i
+            self.channel.add_position(nid, spec.position)
+            interferer = MarkovInterferer(
+                self.engine,
+                self.medium,
+                nid,
+                spec.power_dbm,
+                self.rng.stream("interferer", i),
+                off_mean_s=spec.off_mean_s,
+                on_mean_s=spec.on_mean_s,
+            )
+            self.interferers.append(interferer)
+
+    def _boot_node(self, node: Node) -> None:
+        # Late-bound lookup so post-construction instrumentation (tracing)
+        # that wraps ``protocol.start`` is honored.
+        node.protocol.start()
+
+    def _schedule_boot(self) -> None:
+        stop_at = self.config.duration_s - self.config.drain_s
+        for node in self.nodes.values():
+            self.engine.schedule_at(node.boot_time, self._boot_node, node)
+            if node.source is not None:
+                self.engine.schedule_at(node.boot_time, node.source.start)
+                self.engine.schedule_at(stop_at, node.source.stop)
+        for interferer in self.interferers:
+            self.engine.schedule_at(0.0, interferer.start)
+
+    # ------------------------------------------------------------------
+    # Tree observation
+    # ------------------------------------------------------------------
+    def parent_map(self) -> Dict[int, Optional[int]]:
+        return {nid: node.parent for nid, node in self.nodes.items()}
+
+    def depth_map(self) -> Dict[int, Optional[int]]:
+        """Hops from each node to the root following parent pointers.
+
+        ``None`` marks nodes with no route or caught in a parent loop.
+        """
+        parents = self.parent_map()
+        depths: Dict[int, Optional[int]] = {root: 0 for root in self.roots}
+        for nid in parents:
+            if nid in depths:
+                continue
+            path = []
+            cursor: Optional[int] = nid
+            while cursor is not None and cursor not in depths and cursor not in path:
+                path.append(cursor)
+                cursor = parents.get(cursor)
+            base = depths.get(cursor) if cursor is not None else None
+            if cursor is not None and base is not None:
+                for i, hop in enumerate(reversed(path)):
+                    depths[hop] = base + i + 1
+            else:
+                for hop in path:
+                    depths[hop] = None
+        return depths
+
+    def _schedule_tree_sampling(self) -> None:
+        t = self.config.warmup_s
+        while t <= self.config.duration_s:
+            self.engine.schedule_at(t, self._sample_tree)
+            t += self.config.tree_sample_period_s
+
+    def _sample_tree(self) -> None:
+        self._depth_samples.append(self.depth_map())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> CollectionResult:
+        self.engine.run_until(self.config.duration_s)
+        return compute_result(self)

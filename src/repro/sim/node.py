@@ -1,0 +1,43 @@
+"""A simulated node: radio + MAC + (estimator) + network protocol + app."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.estimator import HybridLinkEstimator
+from repro.link.mac import Mac
+from repro.net.ctp.protocol import CtpProtocol
+from repro.net.multihoplqi import MultiHopLqi
+from repro.phy.radio import Radio
+from repro.workloads.collection import CollectionSource
+
+#: Any object exposing start() / send_from_app() / parent / is_root.
+Protocol = Union[CtpProtocol, MultiHopLqi, object]
+
+
+@dataclass
+class Node:
+    """Composition container for one mote's full stack."""
+
+    node_id: int
+    radio: Radio
+    mac: Mac
+    protocol: Protocol
+    #: Present for estimator-based stacks; MultiHopLQI has none.
+    estimator: Optional[HybridLinkEstimator]
+    source: Optional[CollectionSource]
+    boot_time: float
+
+    @property
+    def is_root(self) -> bool:
+        return self.protocol.is_root
+
+    @property
+    def parent(self) -> Optional[int]:
+        return self.protocol.parent
+
+    def data_transmissions(self) -> int:
+        """Unicast frames this node actually put on the air (data only —
+        beacons are broadcast, acks are not counted, per the paper's cost)."""
+        return self.mac.stats.tx_unicast

@@ -1,0 +1,46 @@
+"""Cross-layer per-packet metadata.
+
+``RxInfo`` is the physical layer's report attached to every received frame:
+it carries the raw measurements (RSSI, SINR, LQI) *and* the distilled
+**white bit** the 4-bit architecture exposes to the link estimator.
+
+``TxResult`` is the link layer's report for every transmitted unicast frame:
+it carries the **ack bit**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RxInfo:
+    """Physical-layer metadata for one received frame."""
+
+    timestamp: float
+    rssi_dbm: float
+    snr_db: float
+    lqi: int
+    #: The white bit: True ⇒ every symbol in the packet had very low
+    #: probability of decoding error.  False is *not* evidence of a bad
+    #: channel (the converse does not hold).
+    white_bit: bool
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lqi <= 255:
+            raise ValueError(f"LQI out of range: {self.lqi}")
+
+
+@dataclass(frozen=True)
+class TxResult:
+    """Link-layer outcome for one unicast transmission attempt."""
+
+    timestamp: float
+    dest: int
+    #: Whether the frame was actually put on the air (CSMA can fail).
+    sent: bool
+    #: The ack bit: True ⇒ a synchronous layer-2 ack was received.  False
+    #: means the packet *may or may not* have arrived.
+    ack_bit: bool
+    #: Number of CSMA backoff rounds taken before transmitting (or giving up).
+    backoffs: int = 0

@@ -1,0 +1,25 @@
+"""Topologies: generators and synthetic testbed profiles."""
+
+from repro.topology.generators import Topology, grid, line, pair, random_uniform
+from repro.topology.testbeds import (
+    MIRAGE,
+    PROFILES,
+    TUTORNET,
+    InterfererSpec,
+    TestbedProfile,
+    scaled_profile,
+)
+
+__all__ = [
+    "MIRAGE",
+    "PROFILES",
+    "TUTORNET",
+    "InterfererSpec",
+    "TestbedProfile",
+    "Topology",
+    "grid",
+    "line",
+    "pair",
+    "random_uniform",
+    "scaled_profile",
+]

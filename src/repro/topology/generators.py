@@ -1,0 +1,121 @@
+"""Topology generation: node placements for simulated networks."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class Topology:
+    """A static node placement with a designated sink."""
+
+    name: str
+    positions: Dict[int, Position]
+    sink: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sink not in self.positions:
+            raise ValueError(f"sink {self.sink} has no position")
+
+    @property
+    def size(self) -> int:
+        return len(self.positions)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.positions)
+
+    def distance(self, a: int, b: int) -> float:
+        (ax, ay), (bx, by) = self.positions[a], self.positions[b]
+        return math.hypot(ax - bx, ay - by)
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        xs = [p[0] for p in self.positions.values()]
+        ys = [p[1] for p in self.positions.values()]
+        return min(xs), min(ys), max(xs), max(ys)
+
+
+def grid(
+    nx: int,
+    ny: int,
+    spacing_m: float,
+    rng: Optional[random.Random] = None,
+    jitter_m: float = 0.0,
+    name: str = "grid",
+    sink: str = "corner",
+) -> Topology:
+    """``nx × ny`` grid with optional placement jitter.
+
+    ``sink`` is ``"corner"`` (node 0, bottom-left — the paper's Figure 2
+    layout) or ``"center"``.
+    """
+    if nx <= 0 or ny <= 0:
+        raise ValueError("grid dimensions must be positive")
+    positions: Dict[int, Position] = {}
+    nid = 0
+    for j in range(ny):
+        for i in range(nx):
+            x, y = i * spacing_m, j * spacing_m
+            if jitter_m > 0.0:
+                if rng is None:
+                    raise ValueError("jitter requires an rng")
+                x += rng.uniform(-jitter_m, jitter_m)
+                y += rng.uniform(-jitter_m, jitter_m)
+            positions[nid] = (x, y)
+            nid += 1
+    sink_id = 0 if sink == "corner" else (ny // 2) * nx + nx // 2
+    return Topology(name=name, positions=positions, sink=sink_id)
+
+
+def random_uniform(
+    n: int,
+    width_m: float,
+    height_m: float,
+    rng: random.Random,
+    name: str = "uniform",
+    sink: str = "corner",
+    min_separation_m: float = 0.5,
+    max_attempts: int = 10_000,
+) -> Topology:
+    """``n`` nodes uniform in a ``width × height`` box, minimum separation.
+
+    The sink is moved to the requested anchor (corner or center) afterwards.
+    """
+    if n <= 1:
+        raise ValueError("need at least 2 nodes")
+    positions: Dict[int, Position] = {}
+    attempts = 0
+    while len(positions) < n:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError("could not satisfy min_separation; lower it or grow the box")
+        candidate = (rng.uniform(0, width_m), rng.uniform(0, height_m))
+        ok = all(
+            math.hypot(candidate[0] - p[0], candidate[1] - p[1]) >= min_separation_m
+            for p in positions.values()
+        )
+        if ok:
+            positions[len(positions)] = candidate
+    if sink == "corner":
+        positions[0] = (0.0, 0.0)
+    elif sink == "center":
+        positions[0] = (width_m / 2.0, height_m / 2.0)
+    else:
+        raise ValueError(f"unknown sink anchor: {sink}")
+    return Topology(name=name, positions=positions, sink=0)
+
+
+def line(n: int, spacing_m: float, name: str = "line") -> Topology:
+    """A 1-D chain — the classic multihop stress topology."""
+    if n <= 1:
+        raise ValueError("need at least 2 nodes")
+    return Topology(name=name, positions={i: (i * spacing_m, 0.0) for i in range(n)}, sink=0)
+
+
+def pair(distance_m: float, name: str = "pair") -> Topology:
+    """Two nodes — the minimal link-estimation scenario."""
+    return Topology(name=name, positions={0: (0.0, 0.0), 1: (distance_m, 0.0)}, sink=0)

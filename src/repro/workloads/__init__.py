@@ -1,0 +1,10 @@
+"""Traffic workloads: the paper's constant-rate collection pattern."""
+
+from repro.workloads.collection import (
+    CollectionSource,
+    DeliveryRecord,
+    SinkRecorder,
+    WorkloadConfig,
+)
+
+__all__ = ["CollectionSource", "DeliveryRecord", "SinkRecorder", "WorkloadConfig"]

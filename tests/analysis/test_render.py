@@ -1,0 +1,105 @@
+"""Unit tests for the ASCII renderers."""
+
+import pytest
+
+from repro.analysis.render import boxplot, routing_tree, scatter, table, timeseries
+
+
+def test_table_alignment_and_content():
+    out = table(["name", "value"], [["a", 1], ["long-name", 22]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "long-name" in out and "22" in out
+
+
+def test_table_no_title():
+    out = table(["x"], [["1"]])
+    assert out.splitlines()[0].startswith("x")
+
+
+def test_scatter_contains_markers_and_legend():
+    out = scatter({"alpha": (1.0, 2.0), "beta": (3.0, 4.0)}, title="S")
+    assert "A = alpha" in out
+    assert "B = beta" in out
+    assert "S" in out
+
+
+def test_scatter_diagonal_reference():
+    out = scatter({"p": (1.0, 1.0), "q": (3.0, 2.0)}, diagonal=True)
+    assert "." in out
+
+
+def test_scatter_empty():
+    assert scatter({}) == "(no points)"
+
+
+def test_scatter_single_point_no_crash():
+    out = scatter({"only": (2.0, 2.0)})
+    assert "only" in out
+
+
+def test_boxplot_stats():
+    out = boxplot({"g": [0.0, 0.25, 0.5, 0.75, 1.0]}, fmt="{:.2f}")
+    assert "min=0.00" in out
+    assert "med=0.50" in out
+    assert "max=1.00" in out
+    assert "#" in out
+
+
+def test_boxplot_multiple_groups_aligned():
+    out = boxplot({"a": [1.0, 2.0], "long-name": [2.0, 3.0]})
+    lines = [l for l in out.splitlines() if "[" in l]
+    assert len(lines) == 2
+    assert lines[0].index("[") == lines[1].index("[")
+
+
+def test_boxplot_handles_empty_group():
+    out = boxplot({"empty": [], "ok": [1.0]})
+    assert "(no data)" in out
+
+
+def test_boxplot_all_empty():
+    assert boxplot({"e": []}) == "(no data)"
+
+
+def test_timeseries_renders_marks():
+    series = {"s": [(0.0, 1.0), (10.0, 2.0), (20.0, 1.5)]}
+    out = timeseries(series, title="TS")
+    assert "*" in out
+    assert "* = s" in out
+
+
+def test_timeseries_skips_none_values():
+    series = {"s": [(0.0, 1.0), (10.0, None), (20.0, 2.0)]}
+    out = timeseries(series)
+    assert out  # no crash; gaps are simply not drawn
+
+
+def test_timeseries_empty():
+    assert timeseries({"s": [(0.0, None)]}) == "(no data)"
+
+
+def test_routing_tree_structure():
+    parents = {0: None, 1: 0, 2: 0, 3: 1}
+    depths = {0: 0, 1: 1, 2: 1, 3: 2}
+    out = routing_tree(parents, depths, root=0)
+    lines = out.splitlines()
+    assert lines[0].startswith("0")
+    assert any(l.startswith("  1") for l in lines)
+    assert any(l.startswith("    3") for l in lines)
+    assert "depth histogram: 1:2  2:1" in out
+
+
+def test_routing_tree_reports_disconnected():
+    parents = {0: None, 1: 0, 2: None}
+    depths = {0: 0, 1: 1, 2: None}
+    out = routing_tree(parents, depths, root=0)
+    assert "disconnected: [2]" in out
+
+
+def test_routing_tree_survives_cycles():
+    parents = {0: None, 1: 2, 2: 1}
+    depths = {0: 0, 1: None, 2: None}
+    out = routing_tree(parents, depths, root=0)
+    assert "disconnected" in out

@@ -1,0 +1,90 @@
+"""Harness for driving a link estimator without a full network."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.estimator import EstimatorConfig, HybridLinkEstimator
+from repro.link.frame import BROADCAST, NetworkFrame, le_wrap
+from repro.link.mac import Mac
+from repro.sim.engine import Engine
+from repro.sim.packets import RxInfo, TxResult
+
+from tests.conftest import PerfectMedium, make_radio, make_rx_info
+
+
+class RecordingClient:
+    """EstimatorClient that logs everything it is told."""
+
+    def __init__(self) -> None:
+        self.received: List[Tuple[NetworkFrame, RxInfo, int]] = []
+        self.send_done: List[Tuple[NetworkFrame, bool, bool]] = []
+
+    def on_receive(self, frame, info, le_src):
+        self.received.append((frame, info, le_src))
+
+    def on_send_done(self, frame, sent, acked):
+        self.send_done.append((frame, sent, acked))
+
+
+class StubCompare:
+    """CompareBitProvider with a scripted answer."""
+
+    def __init__(self, answer: bool = True) -> None:
+        self.answer = answer
+        self.queries = 0
+
+    def compare_bit(self, frame, info) -> bool:
+        self.queries += 1
+        return self.answer
+
+
+def build_estimator(
+    config: Optional[EstimatorConfig] = None,
+    node_id: int = 0,
+    compare=None,
+    seed: int = 4,
+):
+    engine = Engine()
+    medium = PerfectMedium(engine)
+    mac = Mac(engine, medium, make_radio(node_id), random.Random(seed))
+    medium.attach(mac)
+    estimator = HybridLinkEstimator(
+        mac, config or EstimatorConfig(), random.Random(seed + 1), compare_provider=compare
+    )
+    client = RecordingClient()
+    estimator.client = client
+    return estimator, client, engine
+
+
+def routed_payload(src: int) -> NetworkFrame:
+    """A broadcast network frame carrying route info (a routing beacon)."""
+    return NetworkFrame(src=src, dst=BROADCAST, length_bytes=16, carries_route_info=True)
+
+
+def beacon(
+    estimator: HybridLinkEstimator,
+    src: int,
+    seq: int,
+    white: bool = True,
+    footer=None,
+    route_info: bool = True,
+    lqi: int = 106,
+    snr: float = 12.0,
+) -> None:
+    """Deliver one link-estimator beacon from ``src`` to the estimator."""
+    payload = NetworkFrame(
+        src=src, dst=BROADCAST, length_bytes=16, carries_route_info=route_info
+    )
+    frame = le_wrap(payload, le_seq=seq, footer=footer or [])
+    info = make_rx_info(white_bit=white, lqi=lqi, snr_db=snr)
+    estimator._mac_receive(frame, info)
+
+
+def unicast_attempt(estimator: HybridLinkEstimator, dest: int, acked: bool) -> None:
+    """Report one unicast transmission outcome (the ack bit) for ``dest``."""
+    payload = NetworkFrame(src=estimator.node_id, dst=dest, length_bytes=30)
+    frame = le_wrap(payload, le_seq=estimator._seq)
+    result = TxResult(timestamp=0.0, dest=dest, sent=True, ack_bit=acked)
+    estimator._mac_send_done(frame, result)

@@ -1,0 +1,147 @@
+"""Unit tests for the estimator's beacon (broadcast) stream."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+
+from tests.core.helpers import beacon, build_estimator
+
+NBR = 3
+
+
+def test_first_beacon_inserts_into_free_slot():
+    est, _, _ = build_estimator()
+    beacon(est, NBR, seq=0)
+    assert NBR in est.table
+    assert est.stats.inserts_free == 1
+
+
+def test_sequence_gap_counts_missed_beacons():
+    est, _, _ = build_estimator(EstimatorConfig(kb=10))
+    beacon(est, NBR, seq=0)
+    beacon(est, NBR, seq=4)  # 3 missed
+    entry = est.table.find(NBR)
+    assert entry.beacon_received == 2
+    assert entry.beacon_missed == 3
+
+
+def test_sequence_wraparound():
+    est, _, _ = build_estimator(EstimatorConfig(kb=100))
+    beacon(est, NBR, seq=254)
+    beacon(est, NBR, seq=1)  # 254 → 255 → 0 → 1: gap 3, missed 2
+    entry = est.table.find(NBR)
+    assert entry.beacon_missed == 2
+
+
+def test_reboot_gap_resets_window():
+    est, _, _ = build_estimator(EstimatorConfig(kb=100, reboot_gap=32))
+    beacon(est, NBR, seq=0)
+    beacon(est, NBR, seq=1)
+    beacon(est, NBR, seq=200)  # gap way beyond reboot threshold
+    entry = est.table.find(NBR)
+    assert entry.beacon_received == 1
+    assert entry.beacon_missed == 0
+
+
+def test_perfect_beacons_give_etx_one():
+    est, _, _ = build_estimator()
+    for seq in range(8):
+        beacon(est, NBR, seq=seq)
+    assert est.link_quality(NBR) == pytest.approx(1.0)
+
+
+def test_half_prr_beacons_give_etx_two():
+    config = EstimatorConfig(kb=2, alpha_beacon=0.0, alpha_outer=0.0)
+    est, _, _ = build_estimator(config)
+    beacon(est, NBR, seq=0)
+    beacon(est, NBR, seq=2)  # windows of expected 2 with 1 received
+    beacon(est, NBR, seq=4)
+    assert est.link_quality(NBR) == pytest.approx(2.0)
+
+
+def test_unknown_neighbor_quality_is_infinite():
+    est, _, _ = build_estimator()
+    assert math.isinf(est.link_quality(42))
+
+
+def test_beacon_count_in_stats():
+    est, _, _ = build_estimator()
+    for seq in range(3):
+        beacon(est, NBR, seq=seq)
+    assert est.stats.beacons_received == 3
+
+
+def test_payload_delivered_to_client():
+    est, client, _ = build_estimator()
+    beacon(est, NBR, seq=0)
+    assert len(client.received) == 1
+    frame, info, le_src = client.received[0]
+    assert le_src == NBR
+    assert frame.carries_route_info
+
+
+def test_bidirectional_immature_until_footer():
+    config = EstimatorConfig(
+        kb=2, bidirectional_beacons=True, default_prr_out=None, use_ack_stream=False
+    )
+    est, _, _ = build_estimator(config)
+    for seq in range(6):
+        beacon(est, NBR, seq=seq)
+    # Forward PRR is measured, but without a reverse advertisement the
+    # bidirectional estimate cannot exist — the in-degree coupling.
+    assert math.isinf(est.link_quality(NBR))
+
+
+def test_bidirectional_matures_on_footer():
+    config = EstimatorConfig(
+        kb=2, alpha_beacon=0.0, alpha_outer=0.0,
+        bidirectional_beacons=True, default_prr_out=None, use_ack_stream=False,
+    )
+    est, _, _ = build_estimator(config, node_id=0)
+    beacon(est, NBR, seq=0)
+    beacon(est, NBR, seq=1)  # forward PRR 1.0, still immature
+    beacon(est, NBR, seq=2, footer=[(0, 0.5)])  # neighbor hears us at 0.5
+    # ETX = 1 / (prr_in · prr_out) = 1 / (1.0 · 0.5) = 2.0
+    assert est.link_quality(NBR) == pytest.approx(2.0)
+
+
+def test_bidirectional_with_default_prr_out():
+    config = EstimatorConfig(
+        kb=2, alpha_beacon=0.0, alpha_outer=0.0,
+        bidirectional_beacons=True, default_prr_out=0.25, use_ack_stream=False,
+    )
+    est, _, _ = build_estimator(config)
+    beacon(est, NBR, seq=0)
+    beacon(est, NBR, seq=1)
+    assert est.link_quality(NBR) == pytest.approx(4.0)
+
+
+def test_footer_for_other_node_ignored():
+    config = EstimatorConfig(
+        kb=2, bidirectional_beacons=True, default_prr_out=None, use_ack_stream=False
+    )
+    est, _, _ = build_estimator(config, node_id=0)
+    beacon(est, NBR, seq=0, footer=[(7, 0.9)])  # about node 7, not us
+    entry = est.table.find(NBR)
+    assert entry.prr_out is None
+
+
+def test_unidirectional_ignores_footer_quality():
+    est, _, _ = build_estimator(EstimatorConfig(kb=2, bidirectional_beacons=False))
+    beacon(est, NBR, seq=0, footer=[(0, 0.1)])
+    beacon(est, NBR, seq=1, footer=[(0, 0.1)])
+    # 4B uses incoming-beacon PRR only; the footer must not degrade it.
+    assert est.link_quality(NBR) == pytest.approx(1.0)
+
+
+def test_duplicate_seq_treated_as_full_gap():
+    # gap = (seq - last) % 256 = 0 → missed = max(0-1, 0) = 0; a repeated
+    # sequence number is counted as another reception, not a miss.
+    est, _, _ = build_estimator(EstimatorConfig(kb=100))
+    beacon(est, NBR, seq=5)
+    beacon(est, NBR, seq=5)
+    entry = est.table.find(NBR)
+    assert entry.beacon_received == 2
+    assert entry.beacon_missed == 0

@@ -1,0 +1,115 @@
+"""Property-based tests of estimator invariants under random event storms."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import EstimatorConfig
+
+from tests.core.helpers import StubCompare, beacon, build_estimator, unicast_attempt
+
+# One random event: ("beacon", src, seq_gap, white) or ("tx", dest, acked)
+_events = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("beacon"),
+            st.integers(1, 8),
+            st.integers(1, 5),
+            st.booleans(),
+        ),
+        st.tuples(st.just("tx"), st.integers(1, 8), st.booleans()),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _apply(est, events):
+    seqs = {}
+    for event in events:
+        if event[0] == "beacon":
+            _, src, gap, white = event
+            seqs[src] = (seqs.get(src, 0) + gap) % 256
+            beacon(est, src, seq=seqs[src], white=white)
+        else:
+            _, dest, acked = event
+            unicast_attempt(est, dest, acked)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_events)
+def test_property_etx_at_least_one(events):
+    """Every ETX estimate is ≥ 1: one transmission is the physical floor."""
+    est, _, _ = build_estimator(EstimatorConfig(table_size=4), compare=StubCompare(True))
+    _apply(est, events)
+    for entry in est.table:
+        if entry.mature:
+            assert entry.etx >= 1.0 - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(_events)
+def test_property_table_capacity_never_exceeded(events):
+    est, _, _ = build_estimator(EstimatorConfig(table_size=3), compare=StubCompare(True))
+    _apply(est, events)
+    assert len(est.table) <= 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(_events, st.integers(1, 8))
+def test_property_pinned_neighbor_never_evicted(events, pinned_addr):
+    est, _, _ = build_estimator(EstimatorConfig(table_size=3), compare=StubCompare(True))
+    beacon(est, pinned_addr, seq=0)
+    est.pin(pinned_addr)
+    _apply(est, events)
+    assert pinned_addr in est.table
+
+
+@settings(max_examples=60, deadline=None)
+@given(_events)
+def test_property_quality_is_inf_or_positive_finite(events):
+    est, _, _ = build_estimator(EstimatorConfig(table_size=4), compare=StubCompare(True))
+    _apply(est, events)
+    for addr in range(1, 9):
+        quality = est.link_quality(addr)
+        assert quality > 0
+        assert math.isinf(quality) or quality <= est.config.max_etx_sample
+
+
+@settings(max_examples=40, deadline=None)
+@given(_events)
+def test_property_counters_consistent(events):
+    est, _, _ = build_estimator(EstimatorConfig(table_size=4), compare=StubCompare(True))
+    _apply(est, events)
+    stats = est.stats
+    inserts = stats.inserts_free + stats.inserts_compare + stats.inserts_evict_worst
+    assert inserts >= len(est.table)
+    assert est.table.evictions == inserts - len(est.table)
+    for entry in est.table:
+        assert 0 <= entry.uni_total < est.config.ku
+        assert entry.uni_acked <= entry.uni_total
+        assert entry.beacon_received + entry.beacon_missed < est.config.kb or est.config.kb == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 255), min_size=2, max_size=60),
+)
+def test_property_seq_accounting_matches_modular_gaps(seqs):
+    """received + missed after a beacon stream equals the modular seq span
+    (as long as no gap crosses the reboot threshold)."""
+    config = EstimatorConfig(table_size=4, kb=10_000, reboot_gap=256)
+    est, _, _ = build_estimator(config)
+    span = 0
+    prev = None
+    for seq in seqs:
+        beacon(est, 1, seq=seq)
+        if prev is not None:
+            span += (seq - prev) % 256 or 1  # duplicates count as received
+        prev = seq
+    entry = est.table.find(1)
+    expected_total = entry.beacon_received + entry.beacon_missed
+    # First beacon contributes 1 received, 0 missed.
+    assert expected_total == 1 + span

@@ -1,0 +1,84 @@
+"""Unit and property tests for the EWMA primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ewma import Ewma
+
+
+def test_first_sample_seeds_directly():
+    ewma = Ewma(0.9)
+    assert ewma.update(4.0) == 4.0
+    assert ewma.value == 4.0
+
+
+def test_update_formula():
+    ewma = Ewma(0.5)
+    ewma.update(1.0)
+    assert ewma.update(3.0) == pytest.approx(2.0)
+    assert ewma.update(2.0) == pytest.approx(2.0)
+
+
+def test_alpha_is_history_weight():
+    heavy = Ewma(0.9)
+    light = Ewma(0.1)
+    for e in (heavy, light):
+        e.update(0.0)
+        e.update(10.0)
+    assert heavy.value == pytest.approx(1.0)
+    assert light.value == pytest.approx(9.0)
+
+
+def test_value_before_update_raises():
+    with pytest.raises(ValueError):
+        Ewma(0.5).value
+
+
+def test_initialized_flag():
+    ewma = Ewma(0.5)
+    assert not ewma.initialized
+    ewma.update(1.0)
+    assert ewma.initialized
+
+
+def test_reset():
+    ewma = Ewma(0.5)
+    ewma.update(5.0)
+    ewma.reset()
+    assert not ewma.initialized
+    assert ewma.update(2.0) == 2.0
+
+
+@pytest.mark.parametrize("alpha", [-0.1, 1.0, 1.5])
+def test_invalid_alpha_rejected(alpha):
+    with pytest.raises(ValueError):
+        Ewma(alpha)
+
+
+def test_alpha_zero_tracks_last_sample():
+    ewma = Ewma(0.0)
+    ewma.update(1.0)
+    ewma.update(7.0)
+    assert ewma.value == 7.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+    st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=50),
+)
+def test_property_value_bounded_by_sample_range(alpha, samples):
+    ewma = Ewma(alpha)
+    for s in samples:
+        ewma.update(s)
+    assert min(samples) - 1e-9 <= ewma.value <= max(samples) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.0, max_value=0.99, allow_nan=False), st.floats(-50, 50))
+def test_property_constant_stream_converges_exactly(alpha, value):
+    ewma = Ewma(alpha)
+    for _ in range(10):
+        ewma.update(value)
+    assert ewma.value == pytest.approx(value)

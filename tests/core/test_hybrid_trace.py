@@ -1,0 +1,113 @@
+"""Exact-arithmetic worked example of the hybrid estimator (paper Figure 5).
+
+The figure in the paper shows the two sample streams — windowed unicast ETX
+(ku = 5) and windowed beacon PRR → EWMA → ETX (kb = 2) — feeding one outer
+EWMA.  The scanned figure's numbers are partially garbled, but its visible
+transitions (5.0 → 3.1 on a 1.25 sample; 2.1 → ≈1.7 on a 1.25 sample) pin
+the outer history weight at 0.5, which is what we use.  This test replays a
+trace with the same semantics and checks every intermediate value by hand.
+"""
+
+import math
+
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+
+from tests.core.helpers import beacon, build_estimator, unicast_attempt
+
+NBR = 9
+
+CONFIG = EstimatorConfig(
+    table_size=10,
+    ku=5,
+    kb=2,
+    alpha_outer=0.5,
+    alpha_beacon=0.8,
+    use_ack_stream=True,
+    bidirectional_beacons=False,
+)
+
+
+def test_full_hybrid_trace():
+    est, client, _ = build_estimator(CONFIG)
+
+    # --- two beacons complete the first kb=2 window: PRR 1.0 ------------
+    beacon(est, NBR, seq=0)
+    assert math.isinf(est.link_quality(NBR))  # window not yet complete
+    beacon(est, NBR, seq=1)
+    # prr_ewma seeds at 1.0 → beacon ETX sample 1.0 → outer seeds at 1.0
+    assert est.link_quality(NBR) == pytest.approx(1.0)
+
+    # --- unicast window 1: 4 of 5 acked → sample 5/4 = 1.25 -------------
+    for acked in (True, True, False, True, True):
+        unicast_attempt(est, NBR, acked)
+    # outer: 0.5·1.0 + 0.5·1.25 = 1.125
+    assert est.link_quality(NBR) == pytest.approx(1.125)
+
+    # --- unicast window 2: 1 of 5 acked → sample 5/1 = 5.0 --------------
+    for acked in (True, False, False, False, False):
+        unicast_attempt(est, NBR, acked)
+    # outer: 0.5·1.125 + 0.5·5.0 = 3.0625
+    assert est.link_quality(NBR) == pytest.approx(3.0625)
+
+    # --- beacon window 2: seq 2 then seq 5 (missed 3, 4) -----------------
+    beacon(est, NBR, seq=2)       # expected=1, window open
+    assert est.link_quality(NBR) == pytest.approx(3.0625)
+    beacon(est, NBR, seq=5)       # gap 3 ⇒ 2 missed ⇒ expected=4 ≥ kb
+    # PRR sample 2/4 = 0.5; prr_ewma: 0.8·1.0 + 0.2·0.5 = 0.9
+    # beacon ETX = 1/0.9 = 1.111…; outer: 0.5·3.0625 + 0.5·1.111… = 2.0868…
+    assert est.link_quality(NBR) == pytest.approx(0.5 * 3.0625 + 0.5 / 0.9)
+
+    # --- unicast window 3: nothing acked → sample = consecutive fails ----
+    for _ in range(5):
+        unicast_attempt(est, NBR, acked=False)
+    # window 2 ended with 4 consecutive fails, so the count reaches 9.
+    expected = 0.5 * (0.5 * 3.0625 + 0.5 / 0.9) + 0.5 * 9.0
+    assert est.link_quality(NBR) == pytest.approx(expected)
+
+
+def test_heavy_data_traffic_dominates():
+    """Under heavy data traffic, unicast samples dominate the hybrid value
+    (paper: 'When there is heavy data traffic, unicast estimates dominate')."""
+    est, _, _ = build_estimator(CONFIG)
+    beacon(est, NBR, seq=0)
+    beacon(est, NBR, seq=1)  # bootstrap ETX 1.0 from beacons
+    for _ in range(8):  # 8 windows of 40% ack rate → ETX samples of 2.5
+        for acked in (True, False, True, False, False):
+            unicast_attempt(est, NBR, acked)
+    assert est.link_quality(NBR) == pytest.approx(2.5, rel=0.05)
+
+
+def test_quiet_network_beacon_estimates_dominate():
+    est, _, _ = build_estimator(CONFIG)
+    # No data traffic at all: only beacons, half of them missing.
+    beacon(est, NBR, seq=0)
+    for seq in range(2, 20, 2):  # every other beacon lost
+        beacon(est, NBR, seq=seq)
+    # PRR samples converge toward 0.5 → ETX toward 2.
+    assert 1.4 < est.link_quality(NBR) < 2.2
+
+
+def test_consecutive_failures_reset_by_ack():
+    est, _, _ = build_estimator(CONFIG)
+    beacon(est, NBR, seq=0)
+    beacon(est, NBR, seq=1)
+    entry = est.table.find(NBR)
+    for acked in (False, False, True, False, False):
+        unicast_attempt(est, NBR, acked)
+    # The mid-window ack reset the consecutive-failure counter to 0,
+    # then two more fails brought it to 2.
+    assert entry.fails_since_last_ack == 2
+
+
+def test_failure_count_can_exceed_window_sample_cap():
+    config = EstimatorConfig(ku=5, kb=2, alpha_outer=0.5, max_etx_sample=50.0)
+    est, _, _ = build_estimator(config)
+    beacon(est, NBR, seq=0)
+    beacon(est, NBR, seq=1)
+    for _ in range(100):
+        unicast_attempt(est, NBR, acked=False)
+    # Samples are capped at max_etx_sample, so the estimate stays bounded.
+    assert est.link_quality(NBR) <= 50.0
+    assert est.link_quality(NBR) > 10.0

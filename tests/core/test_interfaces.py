@@ -1,0 +1,43 @@
+"""Tests of the interface contracts themselves."""
+
+import pytest
+
+from repro.core.estimator import HybridLinkEstimator
+from repro.core.interfaces import CompareBitProvider, LinkEstimator
+from repro.net.ctp.routing import CtpRoutingEngine
+from repro.net.geographic import GreedyGeoRouting
+
+
+def test_link_estimator_is_abstract():
+    with pytest.raises(TypeError):
+        LinkEstimator()  # type: ignore[abstract]
+
+
+def test_hybrid_estimator_implements_interface():
+    assert issubclass(HybridLinkEstimator, LinkEstimator)
+
+
+def test_compare_bit_providers_are_structural():
+    """Both network layers satisfy the compare-bit protocol structurally —
+    no inheritance required, which is the point of a narrow interface."""
+    assert issubclass(CtpRoutingEngine, CompareBitProvider)
+    # runtime_checkable Protocol: instances check by method presence.
+    assert hasattr(GreedyGeoRouting, "compare_bit")
+
+
+def test_partial_estimator_subclass_rejected():
+    class Partial(LinkEstimator):
+        def link_quality(self, neighbor):
+            return 1.0
+
+    with pytest.raises(TypeError):
+        Partial()  # type: ignore[abstract]
+
+
+def test_fake_estimator_satisfies_interface():
+    from tests.net.helpers import FakeEstimator
+
+    estimator = FakeEstimator({1: 1.0})
+    assert isinstance(estimator, LinkEstimator)
+    assert estimator.link_quality(1) == 1.0
+    assert estimator.link_quality(99) == float("inf")

@@ -1,0 +1,40 @@
+"""Tests for the estimator's debug snapshot."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+
+from tests.core.helpers import beacon, build_estimator, unicast_attempt
+
+
+def test_snapshot_reflects_state():
+    est, _, _ = build_estimator(EstimatorConfig(kb=2, ku=5, alpha_outer=0.0, alpha_beacon=0.0))
+    beacon(est, 5, seq=0)
+    beacon(est, 5, seq=1)
+    beacon(est, 9, seq=0)
+    est.pin(5)
+    for acked in (True, True, False):
+        unicast_attempt(est, 5, acked)
+
+    rows = est.table_snapshot()
+    assert [r["addr"] for r in rows] == [5, 9]
+
+    row5 = rows[0]
+    assert row5["pinned"] is True
+    assert row5["mature"] is True
+    assert row5["etx"] == pytest.approx(1.0)
+    assert row5["prr_in"] == pytest.approx(1.0)
+    assert row5["prr_out"] is None
+    assert row5["uni_window"] == (2, 3)
+
+    row9 = rows[1]
+    assert row9["mature"] is False
+    assert math.isinf(row9["etx"])
+    assert row9["beacon_window"] == (1, 0)
+
+
+def test_snapshot_empty_table():
+    est, _, _ = build_estimator()
+    assert est.table_snapshot() == []

@@ -1,0 +1,110 @@
+"""Tests for the estimator-accuracy harness — and, through it, the paper's
+Section 2 claims about each layer's estimation errors."""
+
+import math
+
+import pytest
+
+from repro.estimators.accuracy import (
+    AccuracyScenario,
+    evaluate,
+    step_scenario,
+    steady_scenario,
+    true_etx,
+)
+from repro.estimators.presets import ctp_stock, four_bit
+
+
+def test_true_etx():
+    assert true_etx(1.0) == 1.0
+    assert true_etx(0.5) == 4.0
+    assert math.isinf(true_etx(0.0))
+
+
+def test_perfect_link_estimated_perfectly():
+    result = evaluate(four_bit(), steady_scenario(1.0, duration_s=300.0, warmup_s=60.0))
+    assert result.mean_relative_error() < 0.05
+    assert result.availability() == 1.0
+
+
+def test_4b_accurate_on_lossy_link_with_data():
+    """With data traffic the ack bit measures the true bidirectional ETX.
+
+    ku = 5 windows on a p² ≈ 0.49 link are inherently noisy (5/a with
+    a ~ Binomial(5, 0.49), plus the consecutive-failure rule on zero-ack
+    windows), so we check that the estimate brackets the truth rather than
+    demanding tightness the real estimator doesn't have.
+    """
+    result = evaluate(
+        four_bit(), steady_scenario(0.7, duration_s=900.0, warmup_s=300.0, data_rate_pps=2.0)
+    )
+    assert result.mean_relative_error() < 0.6
+    estimates = sorted(
+        est for t, est, _ in result.samples if est is not None and t >= 300.0
+    )
+    median = estimates[len(estimates) // 2]
+    assert median == pytest.approx(true_etx(0.7), rel=0.4)
+
+
+def test_beacon_only_unidirectional_is_biased_low():
+    """A unidirectional beacon-only estimator can at best learn 1/p and is
+    therefore structurally below the 1/p² ground truth on lossy links."""
+    import dataclasses
+
+    config = dataclasses.replace(four_bit(), use_ack_stream=False)
+    scenario = steady_scenario(0.6, duration_s=900.0, warmup_s=300.0, data_rate_pps=0.0,
+                               beacon_period_s=5.0)
+    result = evaluate(config, scenario)
+    estimates = [est for t, est, _ in result.samples if est is not None and t >= 300.0]
+    assert estimates
+    mean_est = sum(estimates) / len(estimates)
+    assert mean_est < true_etx(0.6) * 0.75  # visibly biased low
+    assert mean_est == pytest.approx(1 / 0.6, rel=0.35)  # near the 1/p it can see
+
+
+def test_4b_with_data_beats_beacon_only_on_accuracy():
+    import dataclasses
+
+    scenario = steady_scenario(0.7, duration_s=900.0, warmup_s=300.0, data_rate_pps=2.0,
+                               beacon_period_s=5.0)
+    hybrid = evaluate(four_bit(), scenario, label="4b")
+    beacon_only = evaluate(
+        dataclasses.replace(four_bit(), use_ack_stream=False), scenario, label="beacon-only"
+    )
+    assert hybrid.mean_relative_error() < beacon_only.mean_relative_error()
+
+
+def test_step_detection_with_data_is_fast():
+    result = evaluate(
+        four_bit(),
+        step_scenario(high=0.9, low=0.3, at_s=300.0, data_rate_pps=2.0, duration_s=700.0),
+    )
+    assert result.detection_delay_s is not None
+    assert result.detection_delay_s < 60.0
+
+
+def test_step_detection_beacon_only_is_slow_or_absent():
+    import dataclasses
+
+    config = dataclasses.replace(four_bit(), use_ack_stream=False)
+    scenario = step_scenario(
+        high=0.9, low=0.3, at_s=300.0, data_rate_pps=2.0, duration_s=700.0, beacon_period_s=30.0
+    )
+    with_data = evaluate(four_bit(), scenario)
+    without_ack = evaluate(config, scenario)
+    if without_ack.detection_delay_s is not None:
+        assert with_data.detection_delay_s < without_ack.detection_delay_s
+    # A beacon-only estimator on a 30 s probe period cannot beat data-rate
+    # detection; with its 1/p ceiling it may never cross the midpoint at all.
+
+
+def test_quiet_network_beacons_still_provide_estimates():
+    result = evaluate(
+        four_bit(), steady_scenario(0.9, duration_s=600.0, warmup_s=200.0, data_rate_pps=0.0)
+    )
+    assert result.availability() > 0.9
+
+
+def test_no_step_means_no_detection_delay():
+    result = evaluate(four_bit(), steady_scenario(0.8, duration_s=300.0, warmup_s=60.0))
+    assert result.detection_delay_s is None

@@ -1,0 +1,69 @@
+"""Unit tests for the estimator presets (the Figure 6 design space)."""
+
+import pytest
+
+from repro.estimators.presets import (
+    PRESETS,
+    ctp_stock,
+    ctp_unconstrained,
+    ctp_unidir_ack,
+    ctp_white_compare,
+    four_bit,
+)
+from repro.sim.network import PROTOCOLS
+
+
+def test_registry_covers_all_ctp_protocols():
+    # "mhlqi" has no estimator; "geo" uses the 4B preset directly.
+    assert set(PRESETS) == set(PROTOCOLS) - {"mhlqi", "geo"}
+
+
+def test_stock_is_bidirectional_beacon_only():
+    config = ctp_stock()
+    assert not config.use_ack_stream
+    assert config.bidirectional_beacons
+    assert config.send_footers
+    assert config.use_standard_replacement
+    assert not config.use_white_compare
+    assert config.table_size == 10
+
+
+def test_unconstrained_has_no_table_limit():
+    config = ctp_unconstrained()
+    assert config.table_size is None
+    assert config.bidirectional_beacons
+
+
+def test_unidir_adds_only_the_ack_bit():
+    config = ctp_unidir_ack()
+    assert config.use_ack_stream
+    assert not config.bidirectional_beacons
+    assert not config.use_white_compare
+
+
+def test_white_compare_adds_only_network_bits():
+    config = ctp_white_compare()
+    assert not config.use_ack_stream
+    assert config.bidirectional_beacons
+    assert config.use_white_compare
+    assert config.require_white_bit
+
+
+def test_four_bit_uses_everything():
+    config = four_bit()
+    assert config.use_ack_stream
+    assert config.use_white_compare
+    assert config.use_standard_replacement
+    assert not config.bidirectional_beacons  # ack bit measures both directions
+    assert config.table_size == 10
+
+
+def test_paper_window_sizes():
+    config = four_bit()
+    assert config.ku == 5
+    assert config.kb == 2
+
+
+def test_table_size_parameterizable():
+    assert four_bit(table_size=20).table_size == 20
+    assert ctp_stock(table_size=None).table_size is None

@@ -1,0 +1,199 @@
+"""Unit tests for experiment result objects, on synthetic data (no sims)."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablation import AblationResult, BASELINE
+from repro.experiments.common import AveragedResult
+from repro.experiments.fig2_trees import Fig2Result
+from repro.experiments.fig3_lqi_blind import Fig3Result, Fig3Settings
+from repro.experiments.fig6_design_space import Fig6Result
+from repro.experiments.fig7_power_sweep import Fig7Result
+from repro.experiments.fig8_delivery import Fig8Result
+from repro.experiments.headline import HeadlineResult
+from repro.metrics.collection_stats import CollectionResult
+
+
+def avg(protocol, cost, depth=1.5, delivery=0.99, label=None, node_delivery=None):
+    run = CollectionResult(
+        protocol=protocol,
+        seed=1,
+        duration_s=100.0,
+        n_nodes=5,
+        offered=100,
+        accepted=100,
+        unique_delivered=int(delivery * 100),
+        duplicates_at_root=0,
+        total_data_tx=int(cost * delivery * 100),
+        beacons_sent=10,
+        mean_packet_hops=depth,
+        avg_tree_depth=depth,
+        disconnected_fraction=0.0,
+        per_node_delivery={1: delivery},
+        final_parents={0: None, 1: 0},
+        final_depths={0: 0, 1: 1},
+    )
+    return AveragedResult(
+        protocol=protocol,
+        label=label or protocol,
+        cost=cost,
+        avg_tree_depth=depth,
+        delivery_ratio=delivery,
+        pooled_node_delivery=node_delivery or [delivery],
+        runs=[run],
+    )
+
+
+# ---------------------------------------------------------------------------
+def test_fig2_ordering_predicates():
+    good = Fig2Result(
+        results={
+            "ctp": avg("ctp", 3.14, depth=2.8),
+            "mhlqi": avg("mhlqi", 2.28, depth=1.9),
+            "ctp-unconstrained": avg("ctp-unconstrained", 1.86, depth=1.7),
+        }
+    )
+    assert good.cost_ordering_holds()
+    assert good.depth_gap_holds()
+    bad = Fig2Result(
+        results={
+            "ctp": avg("ctp", 1.0, depth=1.0),
+            "mhlqi": avg("mhlqi", 2.0),
+            "ctp-unconstrained": avg("ctp-unconstrained", 3.0, depth=2.0),
+        }
+    )
+    assert not bad.cost_ordering_holds()
+    assert not bad.depth_gap_holds()
+
+
+def test_fig2_render_contains_trees():
+    result = Fig2Result(
+        results={
+            "ctp": avg("ctp", 3.14),
+            "mhlqi": avg("mhlqi", 2.28),
+            "ctp-unconstrained": avg("ctp-unconstrained", 1.86),
+        }
+    )
+    out = result.render()
+    assert "ctp" in out and "depth histogram" in out
+
+
+# ---------------------------------------------------------------------------
+def test_fig3_window_stats_and_blindness():
+    settings = Fig3Settings(duration_s=100.0, burst_window=(40.0, 60.0))
+    result = Fig3Result(
+        settings=settings,
+        prr_series=[(20.0, 0.9), (50.0, 0.6), (80.0, 0.9)],
+        lqi_series=[(20.0, 105.0), (50.0, 104.0), (80.0, 106.0)],
+        unacked_series=[(20.0, 1.0), (50.0, 30.0), (80.0, 35.0)],
+        delivery_ratio=0.95,
+        cost=2.5,
+    )
+    stats = result.window_stats()
+    assert stats["prr_inside"] == pytest.approx(0.6)
+    assert stats["prr_outside"] == pytest.approx(0.9)
+    assert result.blindness_holds()
+
+
+def test_fig3_blindness_fails_if_lqi_drops_too():
+    settings = Fig3Settings(duration_s=100.0, burst_window=(40.0, 60.0))
+    result = Fig3Result(
+        settings=settings,
+        prr_series=[(20.0, 0.9), (50.0, 0.6)],
+        lqi_series=[(20.0, 105.0), (50.0, 80.0)],  # LQI saw it: not blind
+        unacked_series=[],
+        delivery_ratio=0.95,
+        cost=2.5,
+    )
+    assert not result.blindness_holds()
+
+
+# ---------------------------------------------------------------------------
+def _fig6(ctp=3.0, unidir=2.0, white=2.5, fourbit=1.6, mhlqi=2.2):
+    return Fig6Result(
+        results={
+            "ctp": avg("ctp", ctp),
+            "ctp-unidir": avg("ctp-unidir", unidir),
+            "ctp-white": avg("ctp-white", white),
+            "4b": avg("4b", fourbit),
+            "mhlqi": avg("mhlqi", mhlqi),
+        }
+    )
+
+
+def test_fig6_predicates():
+    result = _fig6()
+    assert result.ack_bit_helps()
+    assert result.white_compare_helps()
+    assert result.fourbit_beats_mhlqi()
+    assert result.fourbit_best()
+    assert result.cost_reduction_vs_mhlqi() == pytest.approx((2.2 - 1.6) / 2.2)
+
+
+def test_fig6_detects_regressions():
+    assert not _fig6(fourbit=2.5).fourbit_beats_mhlqi()
+    assert not _fig6(unidir=3.5).ack_bit_helps()
+
+
+# ---------------------------------------------------------------------------
+def _fig7():
+    return Fig7Result(
+        results={
+            ("4b", 0.0): avg("4b", 1.6, depth=1.5),
+            ("mhlqi", 0.0): avg("mhlqi", 2.2, depth=1.7),
+            ("4b", -10.0): avg("4b", 2.5, depth=2.2),
+            ("mhlqi", -10.0): avg("mhlqi", 3.4, depth=2.4),
+            ("4b", -20.0): avg("4b", 5.2, depth=4.0),
+            ("mhlqi", -20.0): avg("mhlqi", 7.4, depth=5.0),
+        },
+        powers=(0.0, -10.0, -20.0),
+    )
+
+
+def test_fig7_trend_predicates():
+    result = _fig7()
+    assert result.cost_increases_with_lower_power("4b")
+    assert result.depth_increases_with_lower_power("mhlqi")
+    assert result.fourbit_wins_everywhere()
+    assert result.cost_reduction_at(0.0) == pytest.approx((2.2 - 1.6) / 2.2)
+    assert result.excess_over_depth("4b", 0.0) == pytest.approx((1.6 - 1.5) / 1.5)
+
+
+def test_fig8_quantile_predicates():
+    sweep = Fig7Result(
+        results={
+            ("4b", 0.0): avg("4b", 1.6, node_delivery=[0.99, 1.0, 0.995]),
+            ("mhlqi", 0.0): avg("mhlqi", 2.2, node_delivery=[0.64, 0.96, 0.99]),
+        },
+        powers=(0.0,),
+    )
+    result = Fig8Result(sweep=sweep)
+    assert result.fourbit_tighter(0.0)
+    assert result.fourbit_median_high(0.0)
+    assert "Figure 8" in result.render()
+
+
+# ---------------------------------------------------------------------------
+def test_headline_predicates():
+    result = HeadlineResult(
+        results={
+            "mirage": {"4b": avg("4b", 1.6, delivery=0.999), "mhlqi": avg("mhlqi", 2.2, delivery=0.93)},
+            "tutornet": {"4b": avg("4b", 1.8, delivery=0.99), "mhlqi": avg("mhlqi", 3.2, delivery=0.85)},
+        }
+    )
+    assert result.fourbit_wins("mirage")
+    assert result.gap_larger_on_noisier_testbed()
+    assert result.cost_reduction("tutornet") > result.cost_reduction("mirage")
+    assert "paper" in result.render()
+
+
+def test_ablation_render_marks_baseline():
+    result = AblationResult(
+        results={
+            BASELINE: avg("4b", 1.6, label=BASELINE),
+            "no-pin": avg("4b", 1.9, label="no-pin"),
+        }
+    )
+    out = result.render()
+    assert BASELINE in out and "no-pin" in out and "+19%" in out

@@ -1,0 +1,111 @@
+"""Integration tests: full protocol stacks on small simulated networks."""
+
+import math
+
+import pytest
+
+from repro.sim.network import CollectionNetwork, PROTOCOLS, SimConfig
+from repro.sim.rng import RngManager
+from repro.topology.generators import grid
+from repro.workloads.collection import WorkloadConfig
+
+
+def dense_grid():
+    """5×4 grid, 6 m spacing: every link is strong at 0 dBm."""
+    return grid(5, 4, spacing_m=6.0, rng=RngManager(7).stream("topo"), jitter_m=1.0)
+
+
+def run_protocol(protocol: str, seed: int = 3, duration: float = 300.0, **kwargs):
+    config = SimConfig(
+        protocol=protocol,
+        seed=seed,
+        duration_s=duration,
+        warmup_s=duration / 3,
+        workload=WorkloadConfig(send_interval_s=5.0),
+        **kwargs,
+    )
+    net = CollectionNetwork(dense_grid(), config)
+    return net, net.run()
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_every_protocol_collects_on_easy_network(protocol):
+    _, result = run_protocol(protocol)
+    assert result.delivery_ratio > 0.85, result.summary_row()
+    assert result.cost >= 1.0
+    assert result.unique_delivered > 100
+
+
+def test_4b_near_perfect_on_easy_network():
+    _, result = run_protocol("4b")
+    assert result.delivery_ratio > 0.99
+    assert result.cost < 2.0
+    assert 1.0 <= result.avg_tree_depth < 2.5
+
+
+def test_same_seed_reproduces_exactly():
+    _, a = run_protocol("4b", seed=11)
+    _, b = run_protocol("4b", seed=11)
+    assert a.cost == b.cost
+    assert a.unique_delivered == b.unique_delivered
+    assert a.final_parents == b.final_parents
+
+
+def test_different_seeds_differ():
+    _, a = run_protocol("4b", seed=11)
+    _, b = run_protocol("4b", seed=12)
+    assert (a.total_data_tx, a.unique_delivered) != (b.total_data_tx, b.unique_delivered)
+
+
+def test_cost_at_least_mean_hops():
+    """Every delivered packet takes ≥1 transmission per hop, so cost (which
+    also pays for losses and retransmissions) lower-bounds at mean hops."""
+    _, result = run_protocol("4b")
+    assert result.cost >= result.mean_packet_hops - 1e-9
+
+
+def test_parent_pointers_form_tree_to_root():
+    net, result = run_protocol("4b")
+    depths = result.final_depths
+    connected = [d for nid, d in depths.items() if nid != 0 and d is not None]
+    assert len(connected) >= len(net.nodes) - 2  # near-total connectivity
+    assert all(d >= 1 for d in connected)
+
+
+def test_current_parent_is_pinned_in_estimator():
+    """Integration of the pin bit: at any sampled moment, each CTP node's
+    current parent entry is pinned in its estimator table."""
+    net, _ = run_protocol("4b")
+    for node in net.nodes.values():
+        if node.is_root:
+            continue
+        parent = node.protocol.parent
+        if parent is None:
+            continue
+        entry = node.estimator.table.find(parent)
+        assert entry is not None, "pinned parent must be in the table"
+        assert entry.pinned
+
+
+def test_mhlqi_cost_counts_all_data_transmissions():
+    net, result = run_protocol("mhlqi")
+    mac_tx = sum(n.mac.stats.tx_unicast for n in net.nodes.values())
+    assert result.total_data_tx == mac_tx
+
+
+def test_duplicates_are_rare_on_easy_network():
+    _, result = run_protocol("4b")
+    assert result.duplicates_at_root <= result.unique_delivered * 0.05
+
+
+def test_table_capacity_respected_throughout():
+    net, _ = run_protocol("4b")
+    for node in net.nodes.values():
+        if node.estimator is not None:
+            assert len(node.estimator.table) <= 10
+
+
+def test_unconstrained_table_grows_beyond_ten():
+    net, _ = run_protocol("ctp-unconstrained")
+    sizes = [len(n.estimator.table) for n in net.nodes.values()]
+    assert max(sizes) > 10

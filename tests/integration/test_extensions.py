@@ -1,0 +1,113 @@
+"""Integration tests for the extensions: multi-sink anycast collection,
+geographic routing, and CC1000-class radios."""
+
+import pytest
+
+from repro.phy.radio import CC1000
+from repro.sim.network import CollectionNetwork, SimConfig
+from repro.sim.rng import RngManager
+from repro.topology.generators import grid
+from repro.workloads.collection import WorkloadConfig
+
+
+def dense_grid():
+    return grid(5, 4, spacing_m=6.0, rng=RngManager(7).stream("topo"), jitter_m=1.0)
+
+
+def run(protocol="4b", duration=300.0, **kwargs):
+    config = SimConfig(
+        protocol=protocol,
+        seed=3,
+        duration_s=duration,
+        warmup_s=duration / 3,
+        workload=WorkloadConfig(send_interval_s=5.0),
+        **kwargs,
+    )
+    net = CollectionNetwork(dense_grid(), config)
+    return net, net.run()
+
+
+# ---------------------------------------------------------------------------
+# Multi-sink anycast (the paper's traffic model: "one of possibly many
+# basestations")
+# ---------------------------------------------------------------------------
+def test_multi_sink_delivers_everything():
+    net, result = run(extra_sinks=(19,))
+    assert result.delivery_ratio > 0.99
+
+
+def test_multi_sink_lowers_depth():
+    _, single = run()
+    _, multi = run(extra_sinks=(19,))  # opposite corner
+    assert multi.avg_tree_depth < single.avg_tree_depth
+
+
+def test_multi_sink_roots_have_no_sources():
+    net, _ = run(extra_sinks=(19,))
+    assert net.nodes[19].source is None
+    assert net.nodes[19].is_root
+    assert set(net.roots) == {0, 19}
+
+
+def test_multi_sink_depth_map_has_two_zeros():
+    net, result = run(extra_sinks=(19,))
+    assert result.final_depths[0] == 0
+    assert result.final_depths[19] == 0
+
+
+# ---------------------------------------------------------------------------
+# Geographic routing
+# ---------------------------------------------------------------------------
+def test_geo_collects_on_easy_network():
+    _, result = run(protocol="geo")
+    assert result.delivery_ratio > 0.97
+    assert result.cost < 2.5
+
+
+def test_geo_parents_make_geographic_progress():
+    net, _ = run(protocol="geo")
+    topo = net.topology
+    sink = topo.sink
+    for node in net.nodes.values():
+        if node.is_root or node.parent is None:
+            continue
+        me = topo.distance(node.node_id, sink)
+        hop = topo.distance(node.parent, sink)
+        assert hop < me, "every geographic hop must reduce distance to sink"
+
+
+def test_geo_next_hop_pinned():
+    net, _ = run(protocol="geo")
+    for node in net.nodes.values():
+        if node.is_root or node.parent is None:
+            continue
+        entry = node.estimator.table.find(node.parent)
+        assert entry is not None and entry.pinned
+
+
+# ---------------------------------------------------------------------------
+# CC1000 radio (no LQI → white bit never set)
+# ---------------------------------------------------------------------------
+def test_cc1000_collects_with_scaled_timing():
+    _, result = run(radio_params=CC1000, white_bit="never", duration=300.0)
+    assert result.delivery_ratio > 0.95
+    assert result.cost < 5.0
+
+
+def test_cc1000_white_bit_never_fires():
+    net, _ = run(radio_params=CC1000, white_bit="never")
+    for node in net.nodes.values():
+        if node.estimator is not None:
+            assert node.estimator.stats.rejected_no_white >= 0
+            assert node.estimator.stats.inserts_compare == 0
+
+
+def test_cc1000_slower_airtime():
+    from repro.phy.radio import CC2420
+
+    assert CC1000.airtime(40) > 10 * CC2420.airtime(40)
+
+
+def test_invalid_white_bit_policy_rejected():
+    with pytest.raises(ValueError):
+        SimConfig(white_bit="sometimes")

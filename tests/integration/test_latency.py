@@ -1,0 +1,53 @@
+"""End-to-end latency instrumentation (the conclusion's transport angle)."""
+
+import math
+
+import pytest
+
+from repro.sim.network import CollectionNetwork, SimConfig
+from repro.sim.rng import RngManager
+from repro.topology.generators import grid, line
+from repro.workloads.collection import WorkloadConfig
+
+
+def run(topology, protocol="4b", duration=300.0):
+    config = SimConfig(
+        protocol=protocol,
+        seed=3,
+        duration_s=duration,
+        warmup_s=duration / 3,
+        workload=WorkloadConfig(send_interval_s=5.0),
+    )
+    net = CollectionNetwork(topology, config)
+    return net, net.run()
+
+
+def dense():
+    return grid(4, 3, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=1.0)
+
+
+def test_latency_measured_for_every_delivery():
+    net, result = run(dense())
+    assert len(net.sink.latencies()) == result.unique_delivered
+
+
+def test_latencies_positive_and_subsecond_on_one_hop_network():
+    _, result = run(dense())
+    assert result.latency_mean_s > 0.0
+    # One or two hops of CSMA + queueing on an idle CC2420 network.
+    assert result.latency_mean_s < 0.5
+    assert result.latency_p95_s >= result.latency_mean_s * 0.5
+
+
+def test_longer_chains_have_higher_latency():
+    _, short = run(dense())
+    chain = line(6, spacing_m=14.0)  # forced multihop at 0 dBm
+    _, long = run(chain)
+    assert long.mean_packet_hops > short.mean_packet_hops
+    assert long.latency_mean_s > short.latency_mean_s
+
+
+def test_latency_for_mhlqi_too():
+    _, result = run(dense(), protocol="mhlqi")
+    assert not math.isnan(result.latency_mean_s)
+    assert result.latency_mean_s > 0.0

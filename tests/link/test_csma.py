@@ -1,0 +1,68 @@
+"""Unit tests for the CSMA/CA backoff machine."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.link.csma import CsmaBackoff
+from repro.phy.radio import RadioParams
+
+
+def test_first_delay_within_initial_window():
+    params = RadioParams()
+    for seed in range(50):
+        backoff = CsmaBackoff(params, random.Random(seed))
+        delay = backoff.next_delay()
+        assert delay is not None
+        assert 0.0 <= delay <= (2**params.min_be - 1) * params.backoff_unit_s
+
+
+def test_attempts_bounded():
+    params = RadioParams()
+    backoff = CsmaBackoff(params, random.Random(1))
+    count = 0
+    while backoff.next_delay() is not None:
+        count += 1
+    assert count == params.max_csma_backoffs + 1
+
+
+def test_exhausted_machine_stays_exhausted():
+    params = RadioParams()
+    backoff = CsmaBackoff(params, random.Random(1))
+    while backoff.next_delay() is not None:
+        pass
+    assert backoff.next_delay() is None
+
+
+def test_backoff_window_grows_up_to_max_be():
+    params = RadioParams(min_be=3, max_be=5, max_csma_backoffs=6)
+    # Statistically: later attempts draw from wider windows.
+    max_delays = [0.0] * 7
+    for seed in range(300):
+        backoff = CsmaBackoff(params, random.Random(seed))
+        for i in range(7):
+            delay = backoff.next_delay()
+            assert delay is not None
+            max_delays[i] = max(max_delays[i], delay)
+    window = lambda be: (2**be - 1) * params.backoff_unit_s
+    assert max_delays[0] <= window(3)
+    assert max_delays[1] <= window(4)
+    assert max_delays[2] <= window(5)
+    assert max_delays[3] <= window(5)  # capped at max_be
+    # The wider windows were actually exercised.
+    assert max_delays[2] > window(3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_property_delays_nonnegative_multiples_of_unit(seed):
+    params = RadioParams()
+    backoff = CsmaBackoff(params, random.Random(seed))
+    while True:
+        delay = backoff.next_delay()
+        if delay is None:
+            break
+        slots = delay / params.backoff_unit_s
+        assert abs(slots - round(slots)) < 1e-9
+        assert delay >= 0.0

@@ -1,0 +1,166 @@
+"""Unit tests for the MAC layer (CSMA + synchronous acks)."""
+
+import pytest
+
+from repro.link.frame import BROADCAST, AckFrame, Frame
+from repro.link.mac import Mac
+from repro.sim.rng import RngManager
+
+from tests.conftest import PerfectMedium, make_radio
+
+
+def build_macs(engine, medium, n=2):
+    mgr = RngManager(77)
+    macs = {}
+    for nid in range(n):
+        mac = Mac(engine, medium, make_radio(nid), mgr.stream("mac", nid))
+        medium.attach(mac)
+        macs[nid] = mac
+    return macs
+
+
+def test_send_rejected_while_busy(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    assert macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+    assert not macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+
+
+def test_send_sets_src(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    frame = Frame(src=99, dst=1, length_bytes=20)
+    macs[0].send(frame)
+    assert frame.src == 0
+
+
+def test_broadcast_completes_without_ack(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    results = []
+    macs[0].on_send_done = lambda f, r: results.append(r)
+    macs[0].send(Frame(src=0, dst=BROADCAST, length_bytes=20))
+    engine.run()
+    assert len(results) == 1
+    assert results[0].sent and not results[0].ack_bit
+    assert macs[0].stats.tx_broadcast == 1
+
+
+def test_unicast_ack_roundtrip(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    results = []
+    macs[0].on_send_done = lambda f, r: results.append(r)
+    macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+    engine.run()
+    assert len(results) == 1
+    assert results[0].ack_bit
+    assert macs[0].stats.acks_received == 1
+    assert macs[1].stats.acks_sent == 1
+
+
+def test_unicast_ack_timeout_when_frame_lost(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    perfect_medium.drop(0, 1)  # data never arrives, so no ack comes back
+    results = []
+    macs[0].on_send_done = lambda f, r: results.append(r)
+    macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+    engine.run()
+    assert len(results) == 1
+    assert results[0].sent and not results[0].ack_bit
+
+
+def test_unicast_ack_timeout_when_ack_lost(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    perfect_medium.drop(1, 0)  # the reverse direction (ack) is dead
+    results = []
+    received = []
+    macs[0].on_send_done = lambda f, r: results.append(r)
+    macs[1].on_receive = lambda f, i: received.append(f)
+    macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+    engine.run()
+    # The frame arrived but the ack bit is clear: "the packet may or may
+    # not have arrived" — exactly the paper's ack-bit contract.
+    assert len(received) == 1
+    assert not results[0].ack_bit
+
+
+def test_mac_free_after_completion(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+    engine.run()
+    assert not macs[0].busy
+    assert macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+
+
+def test_channel_access_failure_after_max_backoffs(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    perfect_medium.set_busy(0)
+    results = []
+    macs[0].on_send_done = lambda f, r: results.append(r)
+    macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+    engine.run()
+    assert len(results) == 1
+    assert not results[0].sent
+    assert macs[0].stats.channel_access_failures == 1
+    assert results[0].backoffs == macs[0].radio.params.max_csma_backoffs + 1
+
+
+def test_frame_not_for_us_ignored(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium, n=3)
+    received = {nid: [] for nid in macs}
+    for nid, mac in macs.items():
+        mac.on_receive = lambda f, i, nid=nid: received[nid].append(f)
+    macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+    engine.run()
+    assert len(received[1]) == 1
+    assert received[2] == []  # node 2 heard it but it was not addressed to it
+
+
+def test_broadcast_delivered_to_all(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium, n=4)
+    received = {nid: [] for nid in macs}
+    for nid, mac in macs.items():
+        mac.on_receive = lambda f, i, nid=nid: received[nid].append(f)
+    macs[0].send(Frame(src=0, dst=BROADCAST, length_bytes=20))
+    engine.run()
+    assert all(len(received[nid]) == 1 for nid in (1, 2, 3))
+
+
+def test_broadcast_not_acked(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    macs[0].send(Frame(src=0, dst=BROADCAST, length_bytes=20))
+    engine.run()
+    assert macs[1].stats.acks_sent == 0
+
+
+def test_stray_ack_ignored(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    # An ack for a frame we never sent must not confuse the MAC.
+    macs[0].on_frame_received(
+        AckFrame(src=1, dst=0, length_bytes=5, acked_frame_id=424242),
+        None,  # info unused on the ack path
+    )
+    assert macs[0].stats.acks_received == 0
+
+
+def test_ack_for_wrong_frame_id_ignored(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    results = []
+    macs[0].on_send_done = lambda f, r: results.append(r)
+    frame = Frame(src=0, dst=1, length_bytes=20)
+    macs[0].send(frame)
+    # Inject a mismatched ack mid-flight, right after tx completes.
+    airtime = macs[0].radio.params.airtime(20)
+    engine.schedule(
+        airtime + 1e-6,
+        lambda: macs[0].on_frame_received(
+            AckFrame(src=1, dst=0, length_bytes=5, acked_frame_id=frame.frame_id + 999), None
+        ),
+    )
+    engine.run()
+    assert len(results) == 1  # completed via the real ack or timeout, once
+
+
+def test_tx_unicast_counted(engine, perfect_medium):
+    macs = build_macs(engine, perfect_medium)
+    macs[0].send(Frame(src=0, dst=1, length_bytes=20))
+    engine.run()
+    assert macs[0].stats.tx_unicast == 1
+    assert macs[0].stats.tx_broadcast == 0

@@ -1,0 +1,86 @@
+"""Property-based MAC tests: liveness and exactly-once completion."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.link.frame import BROADCAST, Frame
+from repro.link.mac import Mac
+from repro.sim.engine import Engine
+
+from tests.conftest import PerfectMedium, make_radio
+
+# A scenario: per-frame (broadcast?, drop_data?, drop_ack?)
+_scenarios = st.lists(
+    st.tuples(st.booleans(), st.booleans(), st.booleans()), min_size=1, max_size=25
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_scenarios, st.integers(0, 2**31))
+def test_property_every_send_completes_exactly_once(scenario, seed):
+    """No matter which frames or acks are lost, every accepted send yields
+    exactly one on_send_done and the MAC returns to idle."""
+    engine = Engine()
+    medium = PerfectMedium(engine)
+    rng = random.Random(seed)
+    macs = {}
+    for nid in (0, 1):
+        mac = Mac(engine, medium, make_radio(nid), random.Random(seed + nid))
+        medium.attach(mac)
+        macs[nid] = mac
+    completions = []
+    macs[0].on_send_done = lambda f, r: completions.append((f.frame_id, r))
+
+    sent_ids = []
+    for is_broadcast, drop_data, drop_ack in scenario:
+        if drop_data:
+            medium.drop(0, 1)
+        else:
+            medium.undrop(0, 1)
+        if drop_ack:
+            medium.drop(1, 0)
+        else:
+            medium.undrop(1, 0)
+        frame = Frame(src=0, dst=BROADCAST if is_broadcast else 1, length_bytes=20)
+        assert macs[0].send(frame)
+        sent_ids.append(frame.frame_id)
+        engine.run()
+        assert not macs[0].busy
+
+    assert [fid for fid, _ in completions] == sent_ids
+
+
+@settings(max_examples=30, deadline=None)
+@given(_scenarios, st.integers(0, 2**31))
+def test_property_ack_bit_implies_delivery(scenario, seed):
+    """A set ack bit is a guarantee: the frame really was received."""
+    engine = Engine()
+    medium = PerfectMedium(engine)
+    macs = {}
+    for nid in (0, 1):
+        mac = Mac(engine, medium, make_radio(nid), random.Random(seed + nid))
+        medium.attach(mac)
+        macs[nid] = mac
+    received_ids = set()
+    macs[1].on_receive = lambda f, i: received_ids.add(f.frame_id)
+    results = []
+    macs[0].on_send_done = lambda f, r: results.append((f.frame_id, r))
+
+    for is_broadcast, drop_data, drop_ack in scenario:
+        if drop_data:
+            medium.drop(0, 1)
+        else:
+            medium.undrop(0, 1)
+        if drop_ack:
+            medium.drop(1, 0)
+        else:
+            medium.undrop(1, 0)
+        frame = Frame(src=0, dst=BROADCAST if is_broadcast else 1, length_bytes=20)
+        macs[0].send(frame)
+        engine.run()
+
+    for frame_id, result in results:
+        if result.ack_bit:
+            assert frame_id in received_ids

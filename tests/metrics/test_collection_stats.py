@@ -1,0 +1,80 @@
+"""Unit tests for collection metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.collection_stats import CollectionResult, _mean_depth
+
+
+def make_result(**overrides):
+    defaults = dict(
+        protocol="4b",
+        seed=1,
+        duration_s=600.0,
+        n_nodes=10,
+        offered=100,
+        accepted=98,
+        unique_delivered=95,
+        duplicates_at_root=2,
+        total_data_tx=190,
+        beacons_sent=50,
+        mean_packet_hops=2.0,
+        avg_tree_depth=1.9,
+        disconnected_fraction=0.0,
+        per_node_delivery={1: 1.0, 2: 0.9},
+    )
+    defaults.update(overrides)
+    return CollectionResult(**defaults)
+
+
+def test_cost():
+    result = make_result(total_data_tx=200, unique_delivered=100)
+    assert result.cost == 2.0
+
+
+def test_cost_with_zero_deliveries_is_infinite():
+    result = make_result(unique_delivered=0)
+    assert math.isinf(result.cost)
+
+
+def test_delivery_ratio():
+    result = make_result(offered=100, unique_delivered=95)
+    assert result.delivery_ratio == pytest.approx(0.95)
+
+
+def test_delivery_ratio_no_offered_is_nan():
+    assert math.isnan(make_result(offered=0).delivery_ratio)
+
+
+def test_delivery_values_sorted_by_node():
+    result = make_result(per_node_delivery={5: 0.5, 1: 1.0, 3: 0.7})
+    assert result.delivery_values() == [1.0, 0.7, 0.5]
+
+
+def test_summary_row_contains_key_metrics():
+    row = make_result().summary_row()
+    assert "4b" in row and "cost" in row and "delivery" in row
+
+
+def test_mean_depth_averages_over_samples():
+    samples = [
+        {0: 0, 1: 1, 2: 2},
+        {0: 0, 1: 1, 2: 4},
+    ]
+    depth, missing = _mean_depth(samples, roots=0)
+    assert depth == pytest.approx((1 + 2 + 1 + 4) / 4)
+    assert missing == 0.0
+
+
+def test_mean_depth_skips_disconnected():
+    samples = [{0: 0, 1: 1, 2: None}]
+    depth, missing = _mean_depth(samples, roots=0)
+    assert depth == 1.0
+    assert missing == pytest.approx(0.5)
+
+
+def test_mean_depth_all_disconnected():
+    depth, missing = _mean_depth([{0: 0, 1: None}], roots=0)
+    assert math.isnan(depth)
+    assert missing == 1.0

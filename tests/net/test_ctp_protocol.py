@@ -1,0 +1,72 @@
+"""Unit tests for the CTP protocol facade (estimator-client dispatch)."""
+
+import random
+
+import pytest
+
+from repro.core.estimator import EstimatorConfig, HybridLinkEstimator
+from repro.link.mac import Mac
+from repro.net.ctp.frames import make_data_frame, make_routing_frame
+from repro.net.ctp.protocol import CtpConfig, CtpProtocol
+from repro.phy.radio import CC1000, CC2420
+
+from tests.conftest import PerfectMedium, make_radio, make_rx_info
+
+
+def build(engine, medium, node_id=3, is_root=False):
+    mac = Mac(engine, medium, make_radio(node_id), random.Random(1))
+    medium.attach(mac)
+    estimator = HybridLinkEstimator(mac, EstimatorConfig(), random.Random(2))
+    protocol = CtpProtocol(engine, estimator, node_id, is_root, random.Random(3))
+    return protocol, estimator
+
+
+def test_facade_wires_estimator_client(engine, perfect_medium):
+    protocol, estimator = build(engine, perfect_medium)
+    assert estimator.client is protocol
+    assert estimator.compare_provider is protocol.routing
+
+
+def test_routing_frames_dispatch_to_routing(engine, perfect_medium):
+    protocol, _ = build(engine, perfect_medium)
+    frame = make_routing_frame(src=7, parent=0, path_etx=1.0)
+    protocol.on_receive(frame, make_rx_info(), 7)
+    assert 7 in protocol.routing.route_info
+
+
+def test_data_frames_dispatch_to_forwarding(engine, perfect_medium):
+    protocol, _ = build(engine, perfect_medium, is_root=True)
+    delivered = []
+    protocol.forwarding.on_deliver = lambda *a: delivered.append(a)
+    frame = make_data_frame(src=7, dst=3, origin=9, origin_seq=4, thl=1, etx_at_sender=2.0)
+    protocol.on_receive(frame, make_rx_info(), 7)
+    assert delivered == [(9, 4, 1, engine.now, 0.0)]
+
+
+def test_send_done_dispatches_only_data(engine, perfect_medium):
+    protocol, _ = build(engine, perfect_medium)
+    beacon = make_routing_frame(src=3, parent=0, path_etx=1.0)
+    # Must be a no-op (no crash, no queue interaction).
+    protocol.on_send_done(beacon, sent=True, acked=False)
+
+
+def test_properties_delegate(engine, perfect_medium):
+    protocol, _ = build(engine, perfect_medium, is_root=True)
+    assert protocol.is_root
+    assert protocol.parent is None
+    assert protocol.path_etx() == 0.0
+
+
+def test_scaled_config_matches_cc2420_defaults():
+    scaled = CtpConfig.scaled_for(CC2420)
+    stock = CtpConfig()
+    assert scaled.forwarding.retry_min_s == pytest.approx(stock.forwarding.retry_min_s, rel=0.15)
+    assert scaled.forwarding.retry_max_s == pytest.approx(stock.forwarding.retry_max_s, rel=0.15)
+    assert scaled.routing.beacon_i_min_s == pytest.approx(stock.routing.beacon_i_min_s, rel=0.15)
+
+
+def test_scaled_config_stretches_for_cc1000():
+    scaled = CtpConfig.scaled_for(CC1000)
+    stock = CtpConfig()
+    assert scaled.forwarding.retry_min_s > 10 * stock.forwarding.retry_min_s
+    assert scaled.routing.beacon_i_min_s > 1.0

@@ -1,0 +1,136 @@
+"""Unit tests for greedy geographic routing on the four-bit interfaces."""
+
+import math
+import random
+
+import pytest
+
+from repro.net.geographic import GeoBeaconFrame, GeoConfig, GreedyGeoRouting
+from repro.sim.engine import Engine
+
+from tests.conftest import make_rx_info
+from tests.net.helpers import FakeEstimator
+
+SINK = (0.0, 0.0)
+
+
+def build(engine, position, qualities=None, is_root=False, **config):
+    estimator = FakeEstimator(qualities)
+    routing = GreedyGeoRouting(
+        engine,
+        estimator,
+        node_id=10,
+        position=position,
+        sink_position=SINK,
+        is_root=is_root,
+        rng=random.Random(3),
+        config=GeoConfig(**config),
+    )
+    return routing, estimator
+
+
+def hear(routing, src, position):
+    frame = GeoBeaconFrame(
+        src=src, dst=0xFFFF, length_bytes=15, carries_route_info=True, position=position
+    )
+    routing.on_beacon_received(frame, make_rx_info(), src)
+
+
+def test_picks_neighbor_closest_to_sink(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 1.0, 2: 1.0})
+    hear(routing, 1, (12.0, 0.0))
+    hear(routing, 2, (8.0, 0.0))
+    assert routing.parent == 2
+
+
+def test_requires_progress(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 1.0})
+    hear(routing, 1, (25.0, 0.0))  # farther from the sink than we are
+    assert routing.parent is None
+
+
+def test_progress_margin(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 1.0}, progress_margin_m=2.0)
+    hear(routing, 1, (19.0, 0.0))  # only 1 m of progress
+    assert routing.parent is None
+
+
+def test_bad_links_excluded(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 9.0}, max_link_etx=4.0)
+    hear(routing, 1, (5.0, 0.0))
+    assert routing.parent is None
+
+
+def test_neighbor_without_position_excluded(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 1.0, 2: 1.0})
+    hear(routing, 2, (10.0, 0.0))
+    # Neighbor 1 is in the estimator table but never beaconed a position.
+    assert routing.parent == 2
+
+
+def test_next_hop_pinned(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 1.0})
+    hear(routing, 1, (10.0, 0.0))
+    assert est.pinned == {1}
+
+
+def test_switch_unpins_old(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 1.0, 2: 1.0})
+    hear(routing, 1, (15.0, 0.0))
+    hear(routing, 2, (5.0, 0.0))
+    assert routing.parent == 2
+    assert est.pinned == {2}
+
+
+def test_root_does_not_route(engine):
+    routing, est = build(engine, position=(0.0, 0.0), qualities={1: 1.0}, is_root=True)
+    hear(routing, 1, (5.0, 0.0))
+    assert routing.parent is None
+    assert routing.path_etx() == 0.0
+
+
+def test_path_cost_is_remaining_distance(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 1.0})
+    assert math.isinf(routing.path_etx())
+    hear(routing, 1, (10.0, 0.0))
+    assert routing.path_etx() == pytest.approx(20.0)
+
+
+def test_compare_bit_no_route_wants_progress(engine):
+    routing, est = build(engine, position=(20.0, 0.0))
+    closer = GeoBeaconFrame(src=9, dst=0xFFFF, length_bytes=15, position=(10.0, 0.0))
+    farther = GeoBeaconFrame(src=9, dst=0xFFFF, length_bytes=15, position=(30.0, 0.0))
+    assert routing.compare_bit(closer, make_rx_info())
+    assert not routing.compare_bit(farther, make_rx_info())
+
+
+def test_compare_bit_against_current_next_hop(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 1.0})
+    hear(routing, 1, (10.0, 0.0))
+    better = GeoBeaconFrame(src=9, dst=0xFFFF, length_bytes=15, position=(4.0, 0.0))
+    worse = GeoBeaconFrame(src=9, dst=0xFFFF, length_bytes=15, position=(12.0, 0.0))
+    assert routing.compare_bit(better, make_rx_info())
+    assert not routing.compare_bit(worse, make_rx_info())
+
+
+def test_compare_bit_ignores_foreign_frames(engine):
+    from repro.link.frame import NetworkFrame
+
+    routing, est = build(engine, position=(20.0, 0.0))
+    assert not routing.compare_bit(NetworkFrame(src=1, dst=2, length_bytes=5), make_rx_info())
+
+
+def test_route_found_callback(engine):
+    routing, est = build(engine, position=(20.0, 0.0), qualities={1: 1.0})
+    found = []
+    routing.on_route_found = lambda: found.append(True)
+    hear(routing, 1, (10.0, 0.0))
+    assert found == [True]
+
+
+def test_beacons_carry_own_position(engine):
+    routing, est = build(engine, position=(20.0, 3.0), qualities={})
+    routing.start()
+    engine.run_until(3.0)
+    assert est.sent
+    assert est.sent[0].position == (20.0, 3.0)

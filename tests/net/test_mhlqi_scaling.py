@@ -1,0 +1,28 @@
+"""Tests for MultiHopLQI timing auto-scaling."""
+
+import pytest
+
+from repro.net.multihoplqi import MhlqiConfig
+from repro.phy.radio import CC1000, CC2420
+
+
+def test_scaled_matches_cc2420_defaults():
+    scaled = MhlqiConfig.scaled_for(CC2420)
+    stock = MhlqiConfig()
+    assert scaled.retry_min_s == pytest.approx(stock.retry_min_s, rel=0.25)
+    assert scaled.retry_max_s == pytest.approx(stock.retry_max_s, rel=0.25)
+
+
+def test_scaled_stretches_for_cc1000():
+    scaled = MhlqiConfig.scaled_for(CC1000)
+    assert scaled.retry_min_s > 0.15
+    assert scaled.retry_max_s > scaled.retry_min_s
+    assert scaled.pace_max_s > scaled.pace_min_s
+
+
+def test_scaling_preserves_ordering_invariants():
+    for params in (CC2420, CC1000):
+        cfg = MhlqiConfig.scaled_for(params)
+        assert cfg.retry_min_s < cfg.retry_max_s
+        assert cfg.pace_min_s < cfg.pace_max_s
+        assert cfg.retry_min_s > cfg.pace_max_s  # retries back off longer than pacing

@@ -1,0 +1,186 @@
+"""Unit tests for the MultiHopLQI baseline."""
+
+import math
+import random
+
+import pytest
+
+from repro.link.frame import BROADCAST
+from repro.link.mac import Mac
+from repro.net.multihoplqi import (
+    LqiBeaconFrame,
+    LqiDataFrame,
+    MhlqiConfig,
+    MultiHopLqi,
+    adjust_lqi,
+)
+from repro.sim.packets import TxResult
+
+from tests.conftest import PerfectMedium, make_radio, make_rx_info
+
+
+def build_node(engine, medium, node_id=5, is_root=False, **config):
+    mac = Mac(engine, medium, make_radio(node_id), random.Random(node_id))
+    medium.attach(mac)
+    protocol = MultiHopLqi(
+        engine, mac, node_id, is_root, random.Random(node_id + 100), MhlqiConfig(**config)
+    )
+    return protocol, mac
+
+
+def hear_beacon(protocol, src, path_cost, lqi=110, t=0.0):
+    frame = LqiBeaconFrame(
+        src=src, dst=BROADCAST, length_bytes=14, carries_route_info=True, path_cost=path_cost
+    )
+    protocol._mac_receive(frame, make_rx_info(timestamp=t, lqi=lqi))
+
+
+# ---------------------------------------------------------------------------
+# adjust_lqi — the TinyOS cost mapping
+# ---------------------------------------------------------------------------
+def test_adjust_lqi_best_case():
+    assert adjust_lqi(110) == 125
+
+
+def test_adjust_lqi_worst_case():
+    assert adjust_lqi(50) == 8000
+
+
+def test_adjust_lqi_clamps_outside_range():
+    assert adjust_lqi(200) == adjust_lqi(110)
+    assert adjust_lqi(10) == adjust_lqi(50)
+
+
+def test_adjust_lqi_monotone_decreasing_in_lqi():
+    costs = [adjust_lqi(lqi) for lqi in range(50, 111)]
+    assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Route maintenance
+# ---------------------------------------------------------------------------
+def test_adopts_first_routed_beacon(engine, perfect_medium):
+    protocol, _ = build_node(engine, perfect_medium)
+    hear_beacon(protocol, src=1, path_cost=0.0, lqi=110)
+    assert protocol.parent == 1
+    assert protocol.path_cost == pytest.approx(125.0)
+
+
+def test_ignores_unrouted_beacons(engine, perfect_medium):
+    protocol, _ = build_node(engine, perfect_medium)
+    hear_beacon(protocol, src=1, path_cost=math.inf)
+    assert protocol.parent is None
+
+
+def test_root_ignores_beacons(engine, perfect_medium):
+    protocol, _ = build_node(engine, perfect_medium, is_root=True)
+    hear_beacon(protocol, src=1, path_cost=0.0)
+    assert protocol.parent is None
+    assert protocol.path_cost == 0.0
+
+
+def test_switch_requires_large_gain(engine, perfect_medium):
+    protocol, _ = build_node(engine, perfect_medium, switch_factor=0.75)
+    hear_beacon(protocol, src=1, path_cost=0.0, lqi=100)  # cost = 420
+    parent_cost = protocol.path_cost
+    # A mildly better candidate (343 ≥ 0.75 × 420) must NOT win...
+    hear_beacon(protocol, src=2, path_cost=0.0, lqi=102)
+    assert protocol.parent == 1
+    # ...but a much better one (cost < 0.75 × current) must.
+    hear_beacon(protocol, src=3, path_cost=0.0, lqi=110)
+    assert protocol.parent == 3
+    assert protocol.path_cost < 0.75 * parent_cost
+
+
+def test_parent_beacon_refreshes_cost(engine, perfect_medium):
+    protocol, _ = build_node(engine, perfect_medium)
+    hear_beacon(protocol, src=1, path_cost=0.0, lqi=110)
+    hear_beacon(protocol, src=1, path_cost=500.0, lqi=110)
+    assert protocol.parent == 1
+    assert protocol.path_cost == pytest.approx(625.0)
+
+
+def test_parent_timeout_detaches(engine, perfect_medium):
+    protocol, _ = build_node(
+        engine, perfect_medium, beacon_period_s=10.0, parent_timeout_periods=2
+    )
+    hear_beacon(protocol, src=1, path_cost=0.0, t=0.0)
+    engine.run_until(50.0)  # no parent beacons for 5 periods
+    protocol._check_parent_timeout()
+    assert protocol.parent is None
+    assert math.isinf(protocol.path_cost)
+
+
+def test_beacons_sent_periodically(engine, perfect_medium):
+    protocol, mac = build_node(engine, perfect_medium, is_root=True, beacon_period_s=10.0)
+    protocol.start()
+    engine.run_until(60.0)
+    assert 4 <= protocol.stats.beacons_sent <= 8
+
+
+# ---------------------------------------------------------------------------
+# Datapath
+# ---------------------------------------------------------------------------
+def test_data_unicast_to_parent(engine, perfect_medium):
+    protocol, mac = build_node(engine, perfect_medium)
+    # Attach a sink so the unicast has a receiver that acks.
+    root, root_mac = build_node(engine, perfect_medium, node_id=1, is_root=True)
+    delivered = []
+    root.on_deliver = lambda *args: delivered.append(args)
+    hear_beacon(protocol, src=1, path_cost=0.0, lqi=110)
+    protocol.send_from_app()
+    engine.run_until(2.0)
+    assert delivered and delivered[0][0] == 5
+    assert protocol.stats.tx_acked == 1
+
+
+def test_retransmits_then_drops(engine, perfect_medium):
+    protocol, mac = build_node(engine, perfect_medium, max_retries=2)
+    hear_beacon(protocol, src=1, path_cost=0.0, lqi=110)
+    perfect_medium.drop(5, 1)  # node 1 never receives (and never acks)
+    # Need node 1 attached so candidate exists? PerfectMedium delivers to
+    # attached others; with the drop in place nothing arrives.
+    build_node(engine, perfect_medium, node_id=1, is_root=True)
+    protocol.send_from_app()
+    engine.run_until(10.0)
+    assert protocol.stats.drops_retries == 1
+    assert protocol.stats.tx_attempts == 3  # 1 + 2 retries
+    assert protocol.stats.tx_unacked == 3
+
+
+def test_duplicate_suppression(engine, perfect_medium):
+    protocol, _ = build_node(engine, perfect_medium)
+    hear_beacon(protocol, src=1, path_cost=0.0)
+    frame = LqiDataFrame(src=9, dst=5, length_bytes=36, origin=50, origin_seq=1, thl=0)
+    protocol._on_data(frame)
+    protocol._on_data(frame)
+    assert protocol.stats.duplicates_suppressed == 1
+
+
+def test_thl_limit(engine, perfect_medium):
+    protocol, _ = build_node(engine, perfect_medium, max_thl=3)
+    hear_beacon(protocol, src=1, path_cost=0.0)
+    frame = LqiDataFrame(src=9, dst=5, length_bytes=36, origin=50, origin_seq=1, thl=3)
+    protocol._on_data(frame)
+    assert protocol.stats.drops_thl == 1
+
+
+def test_queue_overflow(engine, perfect_medium):
+    protocol, _ = build_node(engine, perfect_medium, queue_size=1)
+    assert protocol.send_from_app()
+    assert not protocol.send_from_app()
+    assert protocol.stats.drops_queue_full == 1
+
+
+def test_no_feedback_into_route_cost(engine, perfect_medium):
+    """The defining blindness: transmission failures never change the
+    route cost (no ack bit)."""
+    protocol, mac = build_node(engine, perfect_medium, max_retries=5)
+    build_node(engine, perfect_medium, node_id=1, is_root=True)
+    hear_beacon(protocol, src=1, path_cost=0.0, lqi=110)
+    cost_before = protocol.path_cost
+    perfect_medium.drop(5, 1)
+    protocol.send_from_app()
+    engine.run_until(10.0)
+    assert protocol.path_cost == cost_before
+    assert protocol.parent == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the Trickle beacon timer."""
+
+import random
+
+import pytest
+
+from repro.net.ctp.trickle import TrickleTimer
+from repro.sim.engine import Engine
+
+
+def make_timer(engine, i_min=1.0, i_max=16.0, seed=3):
+    fires = []
+    timer = TrickleTimer(
+        engine, lambda: fires.append(engine.now), random.Random(seed), i_min_s=i_min, i_max_s=i_max
+    )
+    return timer, fires
+
+
+def test_first_fire_within_initial_interval(engine):
+    timer, fires = make_timer(engine)
+    timer.start()
+    engine.run_until(1.0)
+    assert len(fires) == 1
+    assert 0.5 <= fires[0] <= 1.0
+
+
+def test_interval_doubles_until_max(engine):
+    timer, fires = make_timer(engine, i_min=1.0, i_max=8.0)
+    timer.start()
+    engine.run_until(100.0)
+    gaps = [b - a for a, b in zip(fires, fires[1:])]
+    # Jitter picks within [I/2, I]; consecutive gaps are bounded by I_max.
+    assert max(gaps) <= 8.0
+    # Late gaps are wide (interval saturated at I_max).
+    assert gaps[-1] > 2.0
+
+
+def test_steady_state_rate_bounded(engine):
+    timer, fires = make_timer(engine, i_min=1.0, i_max=8.0)
+    timer.start()
+    engine.run_until(200.0)
+    late = [t for t in fires if t > 100.0]
+    # At I_max=8 with jitter in [4, 8], expect roughly 100/6 ≈ 16 fires.
+    assert 10 <= len(late) <= 30
+
+
+def test_reset_snaps_back_to_fast(engine):
+    timer, fires = make_timer(engine, i_min=1.0, i_max=64.0)
+    timer.start()
+    engine.run_until(100.0)
+    count_before = len(fires)
+    timer.reset()
+    engine.run_until(101.0)
+    assert len(fires) > count_before  # a fire within i_min of the reset
+    assert timer.resets == 1
+
+
+def test_reset_before_start_starts_timer(engine):
+    timer, fires = make_timer(engine)
+    timer.reset()
+    engine.run_until(1.0)
+    assert len(fires) == 1
+
+
+def test_stop_prevents_fires(engine):
+    timer, fires = make_timer(engine)
+    timer.start()
+    timer.stop()
+    engine.run_until(50.0)
+    assert fires == []
+
+
+def test_start_idempotent(engine):
+    timer, fires = make_timer(engine)
+    timer.start()
+    timer.start()
+    engine.run_until(1.0)
+    assert len(fires) == 1
+
+
+def test_invalid_bounds_rejected(engine):
+    with pytest.raises(ValueError):
+        TrickleTimer(engine, lambda: None, random.Random(1), i_min_s=0.0, i_max_s=1.0)
+    with pytest.raises(ValueError):
+        TrickleTimer(engine, lambda: None, random.Random(1), i_min_s=2.0, i_max_s=1.0)
+
+
+def test_fire_counter(engine):
+    timer, fires = make_timer(engine)
+    timer.start()
+    engine.run_until(40.0)
+    assert timer.fires == len(fires)

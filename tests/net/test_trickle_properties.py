@@ -1,0 +1,60 @@
+"""Property-based invariants of the Trickle timer."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ctp.trickle import TrickleTimer
+from repro.sim.engine import Engine
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(0, 2**31),
+    st.floats(min_value=0.05, max_value=2.0, allow_nan=False),
+    st.integers(1, 6),
+)
+def test_property_gaps_bounded_by_interval_dynamics(seed, i_min, doublings):
+    """Every inter-fire gap lies in [I/2 of the previous interval, I_max]."""
+    i_max = i_min * (2**doublings)
+    engine = Engine()
+    fires = []
+    timer = TrickleTimer(engine, lambda: fires.append(engine.now), random.Random(seed),
+                         i_min_s=i_min, i_max_s=i_max)
+    timer.start()
+    engine.run_until(i_max * 20)
+    gaps = [b - a for a, b in zip(fires, fires[1:])]
+    assert fires, "the timer must fire"
+    assert all(gap <= i_max + 1e-9 for gap in gaps)
+    assert all(gap >= i_min / 2 - 1e-9 for gap in gaps)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31), st.lists(st.floats(1.0, 50.0, allow_nan=False), min_size=1, max_size=5))
+def test_property_reset_always_fires_within_i_min(seed, reset_times):
+    engine = Engine()
+    fires = []
+    timer = TrickleTimer(engine, lambda: fires.append(engine.now), random.Random(seed),
+                         i_min_s=1.0, i_max_s=64.0)
+    timer.start()
+    for t in sorted(reset_times):
+        engine.run_until(max(t, engine.now))
+        timer.reset()
+        count = len(fires)
+        engine.run_until(engine.now + 1.0)
+        assert len(fires) > count, "a reset must produce a fire within i_min"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31))
+def test_property_stop_is_final_until_restart(seed):
+    engine = Engine()
+    fires = []
+    timer = TrickleTimer(engine, lambda: fires.append(engine.now), random.Random(seed))
+    timer.start()
+    engine.run_until(0.2)
+    timer.stop()
+    count = len(fires)
+    engine.run_until(100.0)
+    assert len(fires) == count

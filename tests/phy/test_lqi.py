@@ -1,0 +1,61 @@
+"""Unit tests for the LQI model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.lqi import DEFAULT_LQI_MODEL, LQI_MAX, LQI_MIN, LqiModel
+
+
+def test_mean_lqi_saturates_high():
+    model = LqiModel()
+    assert model.mean_lqi(20.0) > LQI_MAX - 2
+
+
+def test_mean_lqi_low_at_poor_snr():
+    model = LqiModel()
+    assert model.mean_lqi(-10.0) < LQI_MIN + 5
+
+
+def test_mean_lqi_monotone():
+    model = LqiModel()
+    values = [model.mean_lqi(s) for s in range(-10, 25)]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+def test_sample_within_hardware_range():
+    model = LqiModel(noise_sigma=10.0)  # exaggerate noise to stress clamping
+    rng = random.Random(1)
+    for snr in (-20.0, 0.0, 5.0, 30.0):
+        for _ in range(50):
+            assert LQI_MIN <= model.sample(snr, rng) <= LQI_MAX
+
+
+def test_sample_is_integer():
+    rng = random.Random(2)
+    assert isinstance(DEFAULT_LQI_MODEL.sample(8.0, rng), int)
+
+
+def test_sample_deterministic_given_rng():
+    a = DEFAULT_LQI_MODEL.sample(8.0, random.Random(7))
+    b = DEFAULT_LQI_MODEL.sample(8.0, random.Random(7))
+    assert a == b
+
+
+def test_clean_channel_lqi_clears_white_threshold():
+    """Packets received through a clean channel (SNR ≥ 12 dB) must mostly
+    exceed the 105 LQI white-bit threshold — the saturation property the
+    Figure 3 blindness relies on."""
+    rng = random.Random(3)
+    samples = [DEFAULT_LQI_MODEL.sample(14.0, rng) for _ in range(200)]
+    high = sum(1 for s in samples if s >= 105)
+    assert high / len(samples) > 0.9
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=-30, max_value=40, allow_nan=False), st.integers(0, 2**32))
+def test_property_samples_in_range(snr, seed):
+    value = DEFAULT_LQI_MODEL.sample(snr, random.Random(seed))
+    assert LQI_MIN <= value <= LQI_MAX

@@ -1,0 +1,60 @@
+"""Unit tests for the NC-FSK (CC1000) modulation model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.modulation import BER_MODELS, ncfsk_ber, oqpsk_dsss_ber, prr, prr_fast
+from repro.phy.radio import CC1000, CC2420
+
+
+def test_registry_contains_both_models():
+    assert set(BER_MODELS) == {"oqpsk-dsss", "ncfsk"}
+
+
+def test_ncfsk_worse_than_dsss_at_same_snr():
+    """NC-FSK needs ~10 dB more SNR: the Mica2's famously gray links."""
+    for snr in (0.0, 3.0, 6.0):
+        assert ncfsk_ber(snr) > oqpsk_dsss_ber(snr)
+
+
+def test_ncfsk_transition_region():
+    assert prr("ncfsk", 5.0, 40) < 0.2
+    assert prr("ncfsk", 15.0, 40) > 0.95
+
+
+def test_ncfsk_monotone():
+    bers = [ncfsk_ber(s) for s in range(-5, 25)]
+    assert all(a >= b for a, b in zip(bers, bers[1:]))
+
+
+def test_ncfsk_bounds():
+    assert 0.0 <= ncfsk_ber(-30.0) <= 0.5
+    assert ncfsk_ber(40.0) < 1e-12
+
+
+def test_prr_unknown_modulation_raises():
+    with pytest.raises(KeyError):
+        prr("qam4096", 10.0, 40)
+
+
+def test_prr_fast_matches_exact_for_ncfsk():
+    for snr in (6.0, 9.5, 12.2):
+        assert prr_fast("ncfsk", snr, 50) == pytest.approx(prr("ncfsk", snr, 50), abs=5e-3)
+
+
+def test_radio_params_declare_modulation():
+    assert CC2420.modulation == "oqpsk-dsss"
+    assert CC1000.modulation == "ncfsk"
+
+
+def test_cc1000_bitrate_and_overhead():
+    assert CC1000.bitrate_bps == 19_200.0
+    # 40-byte frame: (40 + 10) · 8 / 19200 ≈ 20.8 ms.
+    assert CC1000.airtime(40) == pytest.approx(0.02083, rel=0.01)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=-10, max_value=30, allow_nan=False), st.integers(1, 200))
+def test_property_ncfsk_prr_in_unit_interval(snr, length):
+    assert 0.0 <= prr("ncfsk", snr, length) <= 1.0

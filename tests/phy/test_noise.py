@@ -1,0 +1,107 @@
+"""Unit tests for hardware variation and burst interferers."""
+
+import random
+
+import pytest
+
+from repro.phy.channel import ChannelModel
+from repro.phy.noise import (
+    BurstParams,
+    MarkovInterferer,
+    WindowedInterferer,
+    apply_hardware_variation,
+)
+from repro.phy.radio import Radio
+from repro.sim.engine import Engine
+from repro.sim.medium import RadioMedium
+from repro.sim.rng import RngManager
+
+
+def test_hardware_variation_sets_offsets():
+    radios = [Radio(node_id=i) for i in range(20)]
+    apply_hardware_variation(radios, random.Random(1), tx_power_sigma_db=1.0)
+    offsets = {r.tx_power_offset_db for r in radios}
+    floors = {r.noise_floor_dbm for r in radios}
+    assert len(offsets) > 1
+    assert len(floors) > 1
+
+
+def test_hardware_variation_centered_on_nominal():
+    radios = [Radio(node_id=i) for i in range(500)]
+    apply_hardware_variation(radios, random.Random(2), nominal_noise_floor_dbm=-98.0)
+    mean_floor = sum(r.noise_floor_dbm for r in radios) / len(radios)
+    assert mean_floor == pytest.approx(-98.0, abs=0.5)
+
+
+def _medium_with_interferer_slot():
+    engine = Engine()
+    rng = RngManager(4)
+    channel = ChannelModel({0: (0.0, 0.0)}, rng, temporal_sigma_db=0.0)
+    channel.add_position(1000, (1.0, 0.0))
+    medium = RadioMedium(engine, channel, rng)
+    return engine, medium
+
+
+def test_windowed_interferer_bursts_only_inside_windows():
+    engine, medium = _medium_with_interferer_slot()
+    source = WindowedInterferer(
+        engine,
+        medium,
+        1000,
+        -5.0,
+        random.Random(1),
+        burst=BurstParams(burst_min_s=0.001, burst_max_s=0.002, gap_mean_s=0.005),
+        windows=[(10.0, 12.0)],
+    )
+    source.start()
+    engine.run_until(9.9)
+    assert source.bursts_sent == 0
+    engine.run_until(12.5)
+    assert source.bursts_sent > 10
+
+
+def test_windowed_interferer_rejects_bad_window():
+    engine, medium = _medium_with_interferer_slot()
+    source = WindowedInterferer(
+        engine, medium, 1000, -5.0, random.Random(1), windows=[(5.0, 5.0)]
+    )
+    with pytest.raises(ValueError):
+        source.start()
+
+
+def test_markov_interferer_eventually_bursts():
+    engine, medium = _medium_with_interferer_slot()
+    source = MarkovInterferer(
+        engine,
+        medium,
+        1000,
+        -5.0,
+        random.Random(2),
+        off_mean_s=5.0,
+        on_mean_s=5.0,
+        burst=BurstParams(burst_min_s=0.001, burst_max_s=0.002, gap_mean_s=0.01),
+    )
+    source.start()
+    engine.run_until(120.0)
+    assert source.bursts_sent > 0
+
+
+def test_interferer_never_receives():
+    engine, medium = _medium_with_interferer_slot()
+    source = WindowedInterferer(
+        engine, medium, 1000, -5.0, random.Random(1), windows=[(0.0, 1.0)]
+    )
+    with pytest.raises(AssertionError):
+        source.on_frame_received(None, None)
+
+
+def test_interferer_duty_cycle_statistics():
+    engine, medium = _medium_with_interferer_slot()
+    burst = BurstParams(burst_min_s=0.002, burst_max_s=0.002, gap_mean_s=0.008)
+    source = WindowedInterferer(
+        engine, medium, 1000, -5.0, random.Random(3), burst=burst, windows=[(0.0, 100.0)]
+    )
+    source.start()
+    engine.run_until(100.0)
+    # Expected burst rate ≈ 1 / (0.002 + 0.008) = 100/s over 100 s.
+    assert 6000 < source.bursts_sent < 14000

@@ -1,0 +1,55 @@
+"""Unit tests for white-bit derivations."""
+
+import pytest
+
+from repro.phy.modulation import prr_from_snr
+from repro.phy.white_bit import (
+    DEFAULT_WHITE_BIT,
+    LqiWhiteBit,
+    NeverWhiteBit,
+    SnrWhiteBit,
+    WhiteBitPolicy,
+)
+
+
+def test_lqi_policy_threshold():
+    policy = LqiWhiteBit(threshold=105)
+    assert policy.evaluate(snr_db=0.0, lqi=105)
+    assert policy.evaluate(snr_db=0.0, lqi=110)
+    assert not policy.evaluate(snr_db=30.0, lqi=104)
+
+
+def test_default_policy_is_lqi_105():
+    assert isinstance(DEFAULT_WHITE_BIT, LqiWhiteBit)
+    assert DEFAULT_WHITE_BIT.threshold == 105
+
+
+def test_snr_policy_threshold():
+    policy = SnrWhiteBit(threshold_db=8.0)
+    assert policy.evaluate(snr_db=8.0, lqi=0)
+    assert not policy.evaluate(snr_db=7.9, lqi=255)
+
+
+def test_snr_policy_from_prr_target():
+    policy = SnrWhiteBit.from_prr_target(target_prr=0.999, length_bytes=100)
+    # At the derived threshold, a 100-byte frame succeeds ≥99.9% of the time.
+    assert prr_from_snr(policy.threshold_db, 100) >= 0.99
+
+
+def test_never_policy():
+    policy = NeverWhiteBit()
+    assert not policy.evaluate(snr_db=100.0, lqi=255)
+
+
+def test_base_policy_is_abstract():
+    with pytest.raises(NotImplementedError):
+        WhiteBitPolicy().evaluate(0.0, 0)
+
+
+def test_white_bit_contract_set_implies_quality():
+    """A set white bit implies high channel quality: at the SNR-derived
+    threshold the per-symbol decode error probability is tiny."""
+    policy = SnrWhiteBit.from_prr_target(0.999, 100)
+    from repro.phy.modulation import oqpsk_dsss_ber
+
+    assert oqpsk_dsss_ber(policy.threshold_db) < 1e-5

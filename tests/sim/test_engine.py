@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+
+def test_clock_starts_at_zero(engine):
+    assert engine.now == 0.0
+
+
+def test_schedule_and_run_single_event(engine):
+    fired = []
+    engine.schedule(1.5, fired.append, "a")
+    engine.run()
+    assert fired == ["a"]
+    assert engine.now == 1.5
+
+
+def test_events_fire_in_time_order(engine):
+    order = []
+    engine.schedule(3.0, order.append, 3)
+    engine.schedule(1.0, order.append, 1)
+    engine.schedule(2.0, order.append, 2)
+    engine.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_time_events_fire_fifo(engine):
+    order = []
+    for i in range(10):
+        engine.schedule(1.0, order.append, i)
+    engine.run()
+    assert order == list(range(10))
+
+
+def test_negative_delay_rejected(engine):
+    with pytest.raises(ValueError):
+        engine.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected(engine):
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_prevents_firing(engine):
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(engine):
+    handle = engine.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    engine.run()
+
+
+def test_run_until_stops_at_boundary(engine):
+    fired = []
+    engine.schedule(1.0, fired.append, "early")
+    engine.schedule(5.0, fired.append, "late")
+    engine.run_until(2.0)
+    assert fired == ["early"]
+    assert engine.now == 2.0
+    engine.run_until(10.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_until_includes_boundary_events(engine):
+    fired = []
+    engine.schedule(2.0, fired.append, "at")
+    engine.run_until(2.0)
+    assert fired == ["at"]
+
+
+def test_run_until_advances_clock_without_events(engine):
+    engine.run_until(42.0)
+    assert engine.now == 42.0
+
+
+def test_events_scheduled_during_execution(engine):
+    order = []
+
+    def first():
+        order.append("first")
+        engine.schedule(1.0, lambda: order.append("nested"))
+
+    engine.schedule(1.0, first)
+    engine.schedule(5.0, lambda: order.append("last"))
+    engine.run()
+    assert order == ["first", "nested", "last"]
+
+
+def test_run_max_events(engine):
+    for i in range(10):
+        engine.schedule(float(i + 1), lambda: None)
+    count = engine.run(max_events=3)
+    assert count == 3
+    assert engine.pending == 7
+
+
+def test_step_returns_false_when_empty(engine):
+    assert engine.step() is False
+
+
+def test_events_run_counter(engine):
+    for i in range(5):
+        engine.schedule(float(i), lambda: None)
+    engine.run()
+    assert engine.events_run == 5
+
+
+def test_zero_delay_event_fires(engine):
+    fired = []
+    engine.schedule(0.0, fired.append, 1)
+    engine.run()
+    assert fired == [1]
+
+
+def test_callback_args_passed(engine):
+    got = []
+    engine.schedule(1.0, lambda a, b: got.append((a, b)), 1, 2)
+    engine.run()
+    assert got == [(1, 2)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+def test_property_arbitrary_delays_fire_in_order(delays):
+    engine = Engine()
+    fired = []
+    for d in delays:
+        engine.schedule(d, lambda d=d: fired.append(d))
+    engine.run()
+    assert fired == sorted(fired, key=lambda x: x)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_canceled_events_never_fire(schedule):
+    engine = Engine()
+    fired = []
+    for i, (delay, cancel) in enumerate(schedule):
+        handle = engine.schedule(delay, fired.append, i)
+        if cancel:
+            handle.cancel()
+    engine.run()
+    expected = [i for i, (_, cancel) in enumerate(schedule) if not cancel]
+    assert sorted(fired) == expected

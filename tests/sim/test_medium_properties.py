@@ -1,0 +1,104 @@
+"""Property-based invariants of the radio medium."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.link.frame import BROADCAST, Frame
+from repro.phy.channel import ChannelModel
+from repro.phy.radio import Radio
+from repro.sim.engine import Engine
+from repro.sim.medium import RadioMedium
+from repro.sim.rng import RngManager
+
+
+class Listener:
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.radio = Radio(node_id=node_id)
+        self.received = []
+
+    def on_frame_received(self, frame, info):
+        self.received.append((frame, info))
+
+
+def build(positions, seed):
+    engine = Engine()
+    rng = RngManager(seed)
+    channel = ChannelModel(
+        positions, rng.fork("ch"), shadowing_sigma_db=2.0, temporal_sigma_db=0.5
+    )
+    medium = RadioMedium(engine, channel, rng)
+    nodes = {}
+    for nid in positions:
+        node = Listener(nid)
+        medium.attach(node)
+        nodes[nid] = node
+    medium.finalize()
+    return engine, medium, nodes
+
+
+_layouts = st.lists(
+    st.tuples(st.floats(0, 60, allow_nan=False), st.floats(0, 30, allow_nan=False)),
+    min_size=2,
+    max_size=8,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_layouts, st.integers(0, 2**31), st.integers(1, 6))
+def test_property_counters_consistent(layout, seed, n_frames):
+    positions = {i: pos for i, pos in enumerate(layout)}
+    engine, medium, nodes = build(positions, seed)
+    for i in range(n_frames):
+        sender = i % len(positions)
+        engine.schedule_at(
+            i * 0.05, medium.start_transmission, sender, Frame(src=sender, dst=BROADCAST, length_bytes=20)
+        )
+    engine.run()
+    assert medium.transmissions == n_frames
+    total_received = sum(len(n.received) for n in nodes.values())
+    assert medium.deliveries == total_received
+    # No node ever receives its own frame.
+    for nid, node in nodes.items():
+        assert all(frame.src != nid for frame, _ in node.received)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_layouts, st.integers(0, 2**31))
+def test_property_rx_info_well_formed(layout, seed):
+    positions = {i: pos for i, pos in enumerate(layout)}
+    engine, medium, nodes = build(positions, seed)
+    for sender in positions:
+        engine.schedule_at(
+            sender * 0.05,
+            medium.start_transmission,
+            sender,
+            Frame(src=sender, dst=BROADCAST, length_bytes=20),
+        )
+    engine.run()
+    for node in nodes.values():
+        for frame, info in node.received:
+            assert 0 <= info.lqi <= 255
+            assert info.timestamp >= 0.0
+            assert info.rssi_dbm < 0.0  # nothing transmits above 0 dBm here
+            if info.white_bit:
+                assert info.lqi >= 105  # default LQI white-bit policy
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31))
+def test_property_same_seed_same_outcome(seed):
+    positions = {0: (0.0, 0.0), 1: (20.0, 0.0), 2: (35.0, 5.0)}
+
+    def run():
+        engine, medium, nodes = build(positions, seed)
+        for i in range(5):
+            engine.schedule_at(
+                i * 0.01, medium.start_transmission, 0, Frame(src=0, dst=BROADCAST, length_bytes=20)
+            )
+        engine.run()
+        return [(nid, len(n.received)) for nid, n in sorted(nodes.items())]
+
+    assert run() == run()

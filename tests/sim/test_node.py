@@ -1,0 +1,64 @@
+"""Unit tests for the Node composition container."""
+
+import random
+
+from repro.link.frame import BROADCAST, Frame
+from repro.link.mac import Mac
+from repro.sim.node import Node
+
+from tests.conftest import PerfectMedium, make_radio
+
+
+def test_data_transmissions_counts_unicast_only(engine, perfect_medium):
+    mac0 = Mac(engine, perfect_medium, make_radio(0), random.Random(1))
+    mac1 = Mac(engine, perfect_medium, make_radio(1), random.Random(2))
+    perfect_medium.attach(mac0)
+    perfect_medium.attach(mac1)
+
+    class StubProtocol:
+        is_root = False
+        parent = 1
+
+    node = Node(
+        node_id=0,
+        radio=mac0.radio,
+        mac=mac0,
+        protocol=StubProtocol(),
+        estimator=None,
+        source=None,
+        boot_time=0.0,
+    )
+    mac0.send(Frame(src=0, dst=1, length_bytes=20))
+    engine.run()
+    mac0.send(Frame(src=0, dst=BROADCAST, length_bytes=20))
+    engine.run()
+    assert node.data_transmissions() == 1
+    assert node.parent == 1
+    assert not node.is_root
+
+
+def test_disabled_mac_stops_everything(engine, perfect_medium):
+    mac0 = Mac(engine, perfect_medium, make_radio(0), random.Random(1))
+    mac1 = Mac(engine, perfect_medium, make_radio(1), random.Random(2))
+    perfect_medium.attach(mac0)
+    perfect_medium.attach(mac1)
+    received = []
+    mac1.on_receive = lambda f, i: received.append(f)
+
+    mac1.enabled = False
+    mac0.send(Frame(src=0, dst=BROADCAST, length_bytes=20))
+    engine.run()
+    assert received == []
+
+    mac1.enabled = True
+    assert not mac1.busy
+    mac0.send(Frame(src=0, dst=BROADCAST, length_bytes=20))
+    engine.run()
+    assert len(received) == 1
+
+
+def test_disabled_mac_rejects_sends(engine, perfect_medium):
+    mac0 = Mac(engine, perfect_medium, make_radio(0), random.Random(1))
+    perfect_medium.attach(mac0)
+    mac0.enabled = False
+    assert not mac0.send(Frame(src=0, dst=BROADCAST, length_bytes=20))

@@ -1,0 +1,38 @@
+"""Unit tests for cross-layer packet metadata."""
+
+import pytest
+
+from repro.sim.packets import RxInfo, TxResult
+
+
+def test_rx_info_fields():
+    info = RxInfo(timestamp=1.0, rssi_dbm=-70.0, snr_db=15.0, lqi=106, white_bit=True)
+    assert info.lqi == 106
+    assert info.white_bit
+
+
+def test_rx_info_is_frozen():
+    info = RxInfo(timestamp=1.0, rssi_dbm=-70.0, snr_db=15.0, lqi=106, white_bit=True)
+    with pytest.raises(AttributeError):
+        info.lqi = 50  # type: ignore[misc]
+
+
+@pytest.mark.parametrize("lqi", [-1, 256, 1000])
+def test_rx_info_rejects_out_of_range_lqi(lqi):
+    with pytest.raises(ValueError):
+        RxInfo(timestamp=0.0, rssi_dbm=-70.0, snr_db=10.0, lqi=lqi, white_bit=False)
+
+
+@pytest.mark.parametrize("lqi", [0, 255])
+def test_rx_info_accepts_boundary_lqi(lqi):
+    RxInfo(timestamp=0.0, rssi_dbm=-70.0, snr_db=10.0, lqi=lqi, white_bit=False)
+
+
+def test_tx_result_ack_bit_semantics():
+    result = TxResult(timestamp=0.0, dest=3, sent=True, ack_bit=False)
+    assert result.sent and not result.ack_bit
+
+
+def test_tx_result_defaults():
+    result = TxResult(timestamp=0.0, dest=3, sent=False, ack_bit=False)
+    assert result.backoffs == 0

@@ -1,0 +1,113 @@
+"""Unit and integration tests for the tracing subsystem."""
+
+import pytest
+
+from repro.sim.network import CollectionNetwork, SimConfig
+from repro.sim.rng import RngManager
+from repro.sim.trace import Tracer, TraceRecord, instrument_network
+from repro.topology.generators import grid
+from repro.workloads.collection import WorkloadConfig
+
+
+# ---------------------------------------------------------------------------
+# Tracer core
+# ---------------------------------------------------------------------------
+def test_emit_and_filter():
+    tracer = Tracer()
+    tracer.emit(1.0, "tx", 3, "to 1 ack=1")
+    tracer.emit(2.0, "tx", 4, "to 1 ack=0")
+    tracer.emit(3.0, "boot", 3, "")
+    assert tracer.count(kind="tx") == 2
+    assert tracer.count(node=3) == 2
+    assert tracer.count(kind="tx", node=3) == 1
+    assert tracer.count(t0=1.5) == 2
+
+
+def test_kind_whitelist():
+    tracer = Tracer(kinds={"boot"})
+    tracer.emit(1.0, "tx", 3, "")
+    tracer.emit(2.0, "boot", 3, "")
+    assert tracer.count() == 1
+
+
+def test_capacity_bound():
+    tracer = Tracer(max_records=2)
+    for i in range(5):
+        tracer.emit(float(i), "tx", 0, "")
+    assert len(tracer.records) == 2
+    assert tracer.dropped == 3
+    assert "dropped" in tracer.render()
+
+
+def test_render_format():
+    tracer = Tracer()
+    tracer.emit(1.5, "parent-change", 7, "None -> 0")
+    out = tracer.render()
+    assert "node 7" in out
+    assert "parent-change" in out
+    assert "None -> 0" in out
+
+
+def test_render_empty():
+    assert Tracer().render() == "(no records)"
+
+
+# ---------------------------------------------------------------------------
+# Network instrumentation
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def traced_run():
+    topo = grid(3, 3, spacing_m=6.0, rng=RngManager(5).stream("t"), jitter_m=0.5)
+    config = SimConfig(
+        protocol="4b",
+        seed=2,
+        duration_s=240.0,
+        warmup_s=80.0,
+        workload=WorkloadConfig(send_interval_s=5.0),
+    )
+    net = CollectionNetwork(topo, config)
+    tracer = instrument_network(net)
+    result = net.run()
+    return net, tracer, result
+
+
+def test_instrumentation_captures_boots(traced_run):
+    net, tracer, _ = traced_run
+    assert tracer.count(kind="boot") == len(net.nodes)
+
+
+def test_instrumentation_captures_parent_changes(traced_run):
+    _, tracer, _ = traced_run
+    changes = tracer.filter(kind="parent-change")
+    assert changes, "at least the initial parent acquisitions must appear"
+    assert all("->" in r.detail for r in changes)
+
+
+def test_instrumentation_captures_deliveries(traced_run):
+    _, tracer, result = traced_run
+    assert tracer.count(kind="deliver") == result.unique_delivered + result.duplicates_at_root
+
+
+def test_instrumentation_tx_matches_mac_counters(traced_run):
+    net, tracer, _ = traced_run
+    mac_total = sum(n.mac.stats.tx_unicast for n in net.nodes.values())
+    assert tracer.count(kind="tx") == mac_total
+
+
+def test_instrumentation_does_not_change_results():
+    topo = grid(3, 3, spacing_m=6.0, rng=RngManager(5).stream("t"), jitter_m=0.5)
+
+    def run(traced: bool):
+        config = SimConfig(
+            protocol="4b", seed=2, duration_s=240.0, warmup_s=80.0,
+            workload=WorkloadConfig(send_interval_s=5.0),
+        )
+        net = CollectionNetwork(topo, config)
+        if traced:
+            instrument_network(net)
+        return net.run()
+
+    plain = run(False)
+    traced = run(True)
+    assert plain.cost == traced.cost
+    assert plain.unique_delivered == traced.unique_delivered

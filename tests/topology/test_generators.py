@@ -1,0 +1,116 @@
+"""Unit tests for topology generators."""
+
+import math
+import random
+
+import pytest
+
+from repro.topology.generators import Topology, grid, line, pair, random_uniform
+
+
+def test_grid_size_and_spacing():
+    topo = grid(4, 3, spacing_m=5.0)
+    assert topo.size == 12
+    assert topo.positions[0] == (0.0, 0.0)
+    assert topo.positions[1] == (5.0, 0.0)
+    assert topo.positions[4] == (0.0, 5.0)
+
+
+def test_grid_corner_sink():
+    topo = grid(4, 3, spacing_m=5.0, sink="corner")
+    assert topo.sink == 0
+
+
+def test_grid_center_sink():
+    topo = grid(5, 5, spacing_m=1.0, sink="center")
+    assert topo.sink == 12  # middle of a 5×5
+
+
+def test_grid_jitter_requires_rng():
+    with pytest.raises(ValueError):
+        grid(2, 2, spacing_m=5.0, jitter_m=1.0)
+
+
+def test_grid_jitter_bounded():
+    topo = grid(5, 5, spacing_m=10.0, rng=random.Random(1), jitter_m=1.0)
+    for nid, (x, y) in topo.positions.items():
+        i, j = nid % 5, nid // 5
+        assert abs(x - i * 10.0) <= 1.0
+        assert abs(y - j * 10.0) <= 1.0
+
+
+@pytest.mark.parametrize("nx,ny", [(0, 3), (3, 0), (-1, 2)])
+def test_grid_rejects_bad_dimensions(nx, ny):
+    with pytest.raises(ValueError):
+        grid(nx, ny, spacing_m=1.0)
+
+
+def test_random_uniform_count_and_bounds():
+    topo = random_uniform(40, 30.0, 20.0, random.Random(3))
+    assert topo.size == 40
+    for x, y in topo.positions.values():
+        assert 0.0 <= x <= 30.0
+        assert 0.0 <= y <= 20.0
+
+
+def test_random_uniform_min_separation():
+    topo = random_uniform(30, 50.0, 50.0, random.Random(3), min_separation_m=2.0)
+    ids = topo.node_ids()
+    for i in ids:
+        for j in ids:
+            if i < j and not (0 in (i, j)):  # sink was re-anchored
+                assert topo.distance(i, j) >= 2.0
+
+
+def test_random_uniform_sink_anchored_at_corner():
+    topo = random_uniform(10, 30.0, 20.0, random.Random(3), sink="corner")
+    assert topo.positions[0] == (0.0, 0.0)
+    assert topo.sink == 0
+
+
+def test_random_uniform_sink_center():
+    topo = random_uniform(10, 30.0, 20.0, random.Random(3), sink="center")
+    assert topo.positions[0] == (15.0, 10.0)
+
+
+def test_random_uniform_reproducible():
+    a = random_uniform(20, 30.0, 20.0, random.Random(9))
+    b = random_uniform(20, 30.0, 20.0, random.Random(9))
+    assert a.positions == b.positions
+
+
+def test_random_uniform_impossible_separation():
+    with pytest.raises(RuntimeError):
+        random_uniform(100, 2.0, 2.0, random.Random(1), min_separation_m=5.0)
+
+
+def test_random_uniform_rejects_tiny_n():
+    with pytest.raises(ValueError):
+        random_uniform(1, 10.0, 10.0, random.Random(1))
+
+
+def test_random_uniform_bad_sink_anchor():
+    with pytest.raises(ValueError):
+        random_uniform(5, 10.0, 10.0, random.Random(1), sink="edge")
+
+
+def test_line():
+    topo = line(5, spacing_m=3.0)
+    assert topo.size == 5
+    assert topo.distance(0, 4) == pytest.approx(12.0)
+
+
+def test_pair():
+    topo = pair(7.5)
+    assert topo.size == 2
+    assert topo.distance(0, 1) == pytest.approx(7.5)
+
+
+def test_topology_rejects_missing_sink():
+    with pytest.raises(ValueError):
+        Topology(name="bad", positions={1: (0, 0)}, sink=0)
+
+
+def test_bounding_box():
+    topo = grid(3, 2, spacing_m=4.0)
+    assert topo.bounding_box() == (0.0, 0.0, 8.0, 4.0)

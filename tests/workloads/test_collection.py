@@ -1,0 +1,108 @@
+"""Unit tests for the collection workload."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.workloads.collection import CollectionSource, SinkRecorder, WorkloadConfig
+
+
+def make_source(engine, accept=True, **config):
+    accepted = []
+
+    def send():
+        accepted.append(engine.now)
+        return accept
+
+    source = CollectionSource(
+        engine, 3, send, random.Random(4), WorkloadConfig(**config)
+    )
+    return source, accepted
+
+
+def test_sends_at_configured_rate(engine):
+    source, sends = make_source(engine, send_interval_s=10.0, app_start_delay_s=0.0)
+    source.start()
+    engine.run_until(1000.0)
+    # ~100 sends expected over 1000 s at 1/10 s.
+    assert 90 <= len(sends) <= 110
+    assert source.attempted == len(sends)
+    assert source.accepted == len(sends)
+
+
+def test_jitter_desynchronizes_sends(engine):
+    source, sends = make_source(
+        engine, send_interval_s=10.0, jitter_fraction=0.1, app_start_delay_s=0.0
+    )
+    source.start()
+    engine.run_until(500.0)
+    gaps = {round(b - a, 3) for a, b in zip(sends, sends[1:])}
+    assert len(gaps) > 3  # not a metronome
+    assert all(9.0 <= g <= 11.0 for g in gaps)
+
+
+def test_rejected_sends_counted(engine):
+    source, sends = make_source(engine, accept=False, send_interval_s=5.0, app_start_delay_s=0.0)
+    source.start()
+    engine.run_until(100.0)
+    assert source.accepted == 0
+    assert source.attempted > 0
+
+
+def test_stop_halts_generation(engine):
+    source, sends = make_source(engine, send_interval_s=5.0, app_start_delay_s=0.0)
+    source.start()
+    engine.run_until(50.0)
+    count = len(sends)
+    source.stop()
+    engine.run_until(200.0)
+    assert len(sends) <= count + 1  # at most one in-flight tick
+
+
+def test_start_idempotent(engine):
+    source, sends = make_source(engine, send_interval_s=10.0, app_start_delay_s=0.0)
+    source.start()
+    source.start()
+    engine.run_until(100.0)
+    assert len(sends) <= 12
+
+
+def test_app_start_delay_respected(engine):
+    source, sends = make_source(engine, send_interval_s=10.0, app_start_delay_s=30.0)
+    source.start()
+    engine.run_until(29.0)
+    assert sends == []
+
+
+# ---------------------------------------------------------------------------
+# SinkRecorder
+# ---------------------------------------------------------------------------
+def test_sink_deduplicates():
+    sink = SinkRecorder()
+    sink.on_deliver(5, 0, 2, 1.0)
+    sink.on_deliver(5, 0, 3, 2.0)  # duplicate (different path length)
+    sink.on_deliver(5, 1, 2, 3.0)
+    assert sink.unique_delivered == 2
+    assert sink.duplicates == 1
+
+
+def test_sink_per_origin_counts():
+    sink = SinkRecorder()
+    for seq in range(4):
+        sink.on_deliver(7, seq, 1, float(seq))
+    sink.on_deliver(8, 0, 1, 9.0)
+    assert sink.unique_per_origin == {7: 4, 8: 1}
+
+
+def test_sink_mean_hops():
+    sink = SinkRecorder()
+    sink.on_deliver(1, 0, 0, 0.0)  # thl 0 → 1 hop
+    sink.on_deliver(2, 0, 2, 0.0)  # thl 2 → 3 hops
+    assert sink.mean_hops() == 2.0
+
+
+def test_sink_mean_hops_empty_is_nan():
+    import math
+
+    assert math.isnan(SinkRecorder().mean_hops())
