@@ -6,7 +6,7 @@ reporting cost & depth (Figure 7) and per-node delivery distributions
 (Figure 8) from the same set of runs.
 
 Usage:
-    python examples/power_sweep.py [--quick]
+    python examples/power_sweep.py [--quick] [--workers 4] [--no-cache]
 """
 
 import argparse
@@ -14,23 +14,35 @@ import argparse
 from repro.experiments.common import BENCH_SCALE, FULL_SCALE
 from repro.experiments.fig7_power_sweep import run as run_fig7
 from repro.experiments.fig8_delivery import run as run_fig8
+from repro.runner import ExperimentRunner, ResultCache
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--workers", type=int, default=1, help="process count (1 = serial)")
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    parser.add_argument(
+        "--cache-dir", default=None, help="result cache location (default: .repro-cache)"
+    )
     args = parser.parse_args()
     if args.quick:
         scale, powers = BENCH_SCALE, (0.0, -10.0)
     else:
         scale, powers = FULL_SCALE, (0.0, -10.0, -20.0)
-    sweep = run_fig7(scale, powers=powers)
+    runner = ExperimentRunner(
+        workers=args.workers,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        progress=True,
+    )
+    sweep = run_fig7(scale, powers=powers, runner=runner)
     print(sweep.render())
     print()
-    delivery = run_fig8(scale, powers=powers, sweep=sweep)
+    delivery = run_fig8(scale, powers=powers, sweep=sweep, runner=runner)
     print(delivery.render())
     print()
     print(f"4B wins on cost at every power: {sweep.fourbit_wins_everywhere()}")
+    print(runner.totals.summary())
 
 
 if __name__ == "__main__":

@@ -5,13 +5,19 @@ Runs every figure experiment at the chosen scale and writes one text file
 per figure under ``results/`` (plus a summary to stdout).  This is the
 script whose output backs EXPERIMENTS.md.
 
+All figures share one :class:`repro.runner.ExperimentRunner`, so
+``--workers N`` fans the whole evaluation out over N processes and the
+result cache makes re-runs (and the fig7/fig8 overlap) nearly free.
+
 Usage:
     python examples/run_full_evaluation.py --out results [--quick]
     python examples/run_full_evaluation.py --minutes 20 --seeds 1
+    python examples/run_full_evaluation.py --workers 4 --json
 """
 
 import argparse
 import dataclasses
+import json
 import time
 import traceback
 from pathlib import Path
@@ -26,6 +32,25 @@ from repro.experiments import (
     fig8_delivery,
     headline,
 )
+from repro.runner import ExperimentRunner, ResultCache
+from repro.metrics.collection_stats import json_sanitize
+
+
+def _jsonify(value):
+    """Best-effort strict-JSON view of a figure result (duck-typed).
+
+    Recurses field-by-field rather than via ``dataclasses.asdict`` so dicts
+    keyed by tuples (e.g. fig7's ``(protocol, power)``) become string keys.
+    """
+    if hasattr(value, "to_json_dict"):
+        return value.to_json_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonify(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return json_sanitize(value)
 
 
 def main() -> None:
@@ -34,6 +59,12 @@ def main() -> None:
     parser.add_argument("--quick", action="store_true", help="benchmark scale (~2 min)")
     parser.add_argument("--minutes", type=float, default=None, help="override run length")
     parser.add_argument("--seeds", type=int, default=None, help="number of seeds")
+    parser.add_argument("--workers", type=int, default=1, help="process count (1 = serial)")
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    parser.add_argument(
+        "--cache-dir", default=None, help="result cache location (default: .repro-cache)"
+    )
+    parser.add_argument("--json", action="store_true", help="also write <figure>.json files")
     args = parser.parse_args()
 
     scale = BENCH_SCALE if args.quick else FULL_SCALE
@@ -47,32 +78,52 @@ def main() -> None:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
 
+    runner = ExperimentRunner(
+        workers=args.workers,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        progress=True,
+    )
+
     powers = (0.0, -10.0) if args.quick else (0.0, -10.0, -20.0)
     sweep_holder = {}
 
     def fig7():
-        sweep_holder["sweep"] = fig7_power_sweep.run(scale, powers=powers)
+        sweep_holder["sweep"] = fig7_power_sweep.run(scale, powers=powers, runner=runner)
         return sweep_holder["sweep"]
 
     jobs = [
-        ("fig3", lambda: fig3_lqi_blind.run()),
-        ("fig2", lambda: fig2_trees.run(scale)),
-        ("fig6", lambda: fig6_design_space.run(scale)),
+        ("fig3", lambda: fig3_lqi_blind.run(runner=runner)),
+        ("fig2", lambda: fig2_trees.run(scale, runner=runner)),
+        ("fig6", lambda: fig6_design_space.run(scale, runner=runner)),
         ("fig7", fig7),
-        ("fig8", lambda: fig8_delivery.run(scale, powers=powers, sweep=sweep_holder.get("sweep"))),
-        ("headline", lambda: headline.run(scale)),
-        ("ablation", lambda: ablation.run(scale)),
+        (
+            "fig8",
+            lambda: fig8_delivery.run(
+                scale, powers=powers, sweep=sweep_holder.get("sweep"), runner=runner
+            ),
+        ),
+        ("headline", lambda: headline.run(scale, runner=runner)),
+        ("ablation", lambda: ablation.run(scale, runner=runner)),
     ]
     for name, job in jobs:
         t0 = time.time()
+        result = None
         try:
-            body = job().render()
+            result = job()
+            body = result.render()
         except Exception:
             body = traceback.format_exc()
         wall = time.time() - t0
         path = out / f"{name}.txt"
         path.write_text(body + f"\n\n[wall time: {wall:.0f}s]\n")
         print(f"{name:<10} {wall:6.0f}s  -> {path}")
+        if args.json and result is not None:
+            jpath = out / f"{name}.json"
+            try:
+                jpath.write_text(json.dumps(_jsonify(result), indent=2, allow_nan=False) + "\n")
+            except Exception:
+                print(f"{name}: JSON export failed\n{traceback.format_exc()}")
+    print(runner.totals.summary())
     print("done.")
 
 

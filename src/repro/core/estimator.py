@@ -111,6 +111,9 @@ class EstimatorStats:
 
     beacons_sent: int = 0
     beacons_received: int = 0
+    #: Beacons re-received with an already-seen ``le_seq`` (dropped from the
+    #: PRR window rather than counted as extra receptions).
+    duplicate_beacons: int = 0
     inserts_free: int = 0
     inserts_compare: int = 0
     inserts_evict_worst: int = 0
@@ -299,7 +302,13 @@ class HybridLinkEstimator(LinkEstimator):
             missed = 0
         else:
             gap = (seq - entry.last_seq) % 256
-            missed = max(gap - 1, 0)
+            if gap == 0:
+                # Exact duplicate (same le_seq re-received): not a new
+                # expected beacon, so counting it would inflate the PRR
+                # window with receptions the sender never scheduled.
+                self.stats.duplicate_beacons += 1
+                return
+            missed = gap - 1
         if missed >= self.config.reboot_gap:
             entry.beacon_received = 0
             entry.beacon_missed = 0

@@ -24,10 +24,12 @@ from repro.analysis.render import table
 from repro.estimators.presets import four_bit
 from repro.experiments.common import (
     AveragedResult,
+    Cell,
     ExperimentScale,
     FULL_SCALE,
-    run_averaged,
+    run_cells,
 )
+from repro.runner import ExperimentRunner
 
 BASELINE = "4b (full)"
 
@@ -73,11 +75,14 @@ class AblationResult:
         )
 
 
-def run(scale: ExperimentScale = FULL_SCALE) -> AblationResult:
-    results = {}
-    for name, config in variants().items():
-        results[name] = run_averaged(scale, "4b", label=name, estimator_config=config)
-    return AblationResult(results=results)
+def run(scale: ExperimentScale = FULL_SCALE, runner: "ExperimentRunner" = None) -> AblationResult:
+    names = list(variants())
+    cells = [
+        Cell.make("4b", label=name, estimator_config=config)
+        for name, config in variants().items()
+    ]
+    averaged = run_cells(scale, cells, runner)
+    return AblationResult(results=dict(zip(names, averaged)))
 
 
 if __name__ == "__main__":

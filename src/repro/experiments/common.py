@@ -5,6 +5,13 @@ runs at two sizes: full scale from ``examples/`` (paper-like durations,
 multiple seeds) and reduced scale from ``benchmarks/`` (smaller network,
 shorter runs — the benchmark suite must regenerate every figure in minutes,
 not hours).
+
+Execution goes through :mod:`repro.runner`: each (cell × seed) becomes a
+:class:`RunSpec` — a frozen, canonically hashable description of one run —
+and a batch of specs fans out across a process pool with on-disk result
+caching.  The default runner is serial and uncached (identical to the old
+in-line loops); set ``REPRO_WORKERS``/``REPRO_CACHE`` or pass ``runner=``
+to parallelize.
 """
 
 from __future__ import annotations
@@ -12,9 +19,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from statistics import mean
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.metrics.collection_stats import CollectionResult
+from repro.metrics.collection_stats import CollectionResult, json_sanitize
+from repro.runner import ExperimentRunner, Task, default_runner
 from repro.sim.network import CollectionNetwork, SimConfig
 from repro.topology.testbeds import PROFILES, TestbedProfile, scaled_profile
 
@@ -67,6 +75,111 @@ def run_one(
     return CollectionNetwork(topo, config, profile=profile).run()
 
 
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully specified simulator run — the unit of fan-out and caching.
+
+    Deliberately *not* built on :class:`ExperimentScale` directly: the
+    scale's ``seeds`` tuple describes a whole sweep, and baking it into the
+    spec would give the same (protocol, seed) run a different cache key for
+    every seed set it appears in.
+    """
+
+    profile_name: str
+    n_nodes: Optional[int]
+    duration_s: float
+    warmup_s: float
+    topology_seed: int
+    protocol: str
+    seed: int
+    tx_power_dbm: float = 0.0
+    #: Extra ``SimConfig`` fields as sorted (name, value) pairs; values must
+    #: be canonically hashable (plain data or frozen dataclasses).
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        scale: ExperimentScale,
+        protocol: str,
+        seed: int,
+        tx_power_dbm: float = 0.0,
+        **config_overrides,
+    ) -> "RunSpec":
+        return cls(
+            profile_name=scale.profile_name,
+            n_nodes=scale.n_nodes,
+            duration_s=scale.duration_s,
+            warmup_s=scale.warmup_s,
+            topology_seed=scale.topology_seed,
+            protocol=protocol,
+            seed=seed,
+            tx_power_dbm=tx_power_dbm,
+            overrides=tuple(sorted(config_overrides.items())),
+        )
+
+    def scale(self) -> ExperimentScale:
+        return ExperimentScale(
+            profile_name=self.profile_name,
+            n_nodes=self.n_nodes,
+            duration_s=self.duration_s,
+            warmup_s=self.warmup_s,
+            seeds=(self.seed,),
+            topology_seed=self.topology_seed,
+        )
+
+    def describe(self) -> str:
+        extra = f" {dict(self.overrides)}" if self.overrides else ""
+        return (
+            f"{self.protocol} seed={self.seed} @{self.tx_power_dbm:+.0f}dBm "
+            f"{self.profile_name}/{self.n_nodes or 'full'}{extra}"
+        )
+
+
+def execute_spec(spec: RunSpec) -> CollectionResult:
+    """Top-level (picklable) entry point the runner's workers call."""
+    return run_one(
+        spec.scale(), spec.protocol, spec.seed, spec.tx_power_dbm, **dict(spec.overrides)
+    )
+
+
+def run_specs(
+    specs: Sequence[RunSpec], runner: Optional[ExperimentRunner] = None
+) -> List[CollectionResult]:
+    """Execute a batch of specs through the runner, in order."""
+    runner = runner or default_runner()
+    return runner.run([Task(execute_spec, spec, label=spec.describe()) for spec in specs])
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One experiment-grid cell: a configuration averaged over seeds."""
+
+    protocol: str
+    label: str = ""
+    tx_power_dbm: float = 0.0
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls, protocol: str, label: str = "", tx_power_dbm: float = 0.0, **config_overrides
+    ) -> "Cell":
+        return cls(
+            protocol=protocol,
+            label=label or protocol,
+            tx_power_dbm=tx_power_dbm,
+            overrides=tuple(sorted(config_overrides.items())),
+        )
+
+    def specs(self, scale: ExperimentScale) -> List[RunSpec]:
+        return [
+            RunSpec.build(
+                scale, self.protocol, seed, self.tx_power_dbm, **dict(self.overrides)
+            )
+            for seed in scale.seeds
+        ]
+
+
 @dataclass
 class AveragedResult:
     """Seed-averaged metrics for one configuration."""
@@ -86,19 +199,24 @@ class AveragedResult:
             f"delivery={self.delivery_ratio * 100:6.2f}%  ({len(self.runs)} seeds)"
         )
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """Strict-JSON view (non-finite floats become ``null``)."""
+        return json_sanitize(
+            {
+                "protocol": self.protocol,
+                "label": self.label,
+                "cost": self.cost,
+                "avg_tree_depth": self.avg_tree_depth,
+                "delivery_ratio": self.delivery_ratio,
+                "pooled_node_delivery": self.pooled_node_delivery,
+                "runs": [r.to_json_dict() for r in self.runs],
+            }
+        )
 
-def run_averaged(
-    scale: ExperimentScale,
-    protocol: str,
-    tx_power_dbm: float = 0.0,
-    label: Optional[str] = None,
-    **config_overrides,
-) -> AveragedResult:
-    """Run ``protocol`` across the scale's seeds and average the metrics."""
-    runs = [
-        run_one(scale, protocol, seed, tx_power_dbm, **config_overrides)
-        for seed in scale.seeds
-    ]
+
+def average_runs(protocol: str, label: str, runs: Sequence[CollectionResult]) -> AveragedResult:
+    """Fold per-seed results into one :class:`AveragedResult`."""
+    runs = list(runs)
     pooled = [v for r in runs for v in r.delivery_values() if not math.isnan(v)]
     return AveragedResult(
         protocol=protocol,
@@ -109,6 +227,40 @@ def run_averaged(
         pooled_node_delivery=pooled,
         runs=runs,
     )
+
+
+def run_cells(
+    scale: ExperimentScale,
+    cells: Sequence[Cell],
+    runner: Optional[ExperimentRunner] = None,
+) -> List[AveragedResult]:
+    """Run a whole grid of cells as one batch and average each over seeds.
+
+    Submitting the full (cell × seed) grid at once is what lets the runner
+    keep every worker busy; per-cell serial loops would leave the pool idle
+    between cells.
+    """
+    specs = [spec for cell in cells for spec in cell.specs(scale)]
+    results = run_specs(specs, runner)
+    averaged = []
+    n = len(scale.seeds)
+    for i, cell in enumerate(cells):
+        runs = results[i * n : (i + 1) * n]
+        averaged.append(average_runs(cell.protocol, cell.label, runs))
+    return averaged
+
+
+def run_averaged(
+    scale: ExperimentScale,
+    protocol: str,
+    tx_power_dbm: float = 0.0,
+    label: Optional[str] = None,
+    runner: Optional[ExperimentRunner] = None,
+    **config_overrides,
+) -> AveragedResult:
+    """Run ``protocol`` across the scale's seeds and average the metrics."""
+    cell = Cell.make(protocol, label or protocol, tx_power_dbm, **config_overrides)
+    return run_cells(scale, [cell], runner)[0]
 
 
 def improvement(baseline: float, contender: float) -> float:

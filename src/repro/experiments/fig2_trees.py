@@ -14,7 +14,14 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.render import routing_tree, table
-from repro.experiments.common import AveragedResult, ExperimentScale, FULL_SCALE, run_averaged
+from repro.experiments.common import (
+    AveragedResult,
+    Cell,
+    ExperimentScale,
+    FULL_SCALE,
+    run_cells,
+)
+from repro.runner import ExperimentRunner
 
 PROTOCOLS = ("ctp", "mhlqi", "ctp-unconstrained")
 
@@ -75,9 +82,9 @@ def _root_of(result) -> int:
     return 0
 
 
-def run(scale: ExperimentScale = FULL_SCALE) -> Fig2Result:
-    results = {name: run_averaged(scale, name) for name in PROTOCOLS}
-    return Fig2Result(results=results)
+def run(scale: ExperimentScale = FULL_SCALE, runner: "ExperimentRunner" = None) -> Fig2Result:
+    averaged = run_cells(scale, [Cell.make(name) for name in PROTOCOLS], runner)
+    return Fig2Result(results=dict(zip(PROTOCOLS, averaged)))
 
 
 if __name__ == "__main__":

@@ -18,9 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import dataclasses
+
 from repro.analysis.render import table, timeseries
+from repro.metrics.collection_stats import json_sanitize
 from repro.metrics.timeseries import BroadcastLog, RxProbe, TxProbe, windowed_prr
 from repro.phy.noise import WindowedInterferer
+from repro.runner import ExperimentRunner, Task, default_runner
 from repro.sim.network import CollectionNetwork, SimConfig
 from repro.topology.generators import Topology
 from repro.workloads.collection import WorkloadConfig
@@ -102,6 +106,10 @@ class Fig3Result:
         lqi_drop = stats["lqi_outside"] - stats["lqi_inside"]
         return prr_drop > 0.15 and lqi_drop < 5.0
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """Strict-JSON view (non-finite floats become ``null``)."""
+        return json_sanitize(dataclasses.asdict(self))
+
     def render(self) -> str:
         stats = self.window_stats()
         parts = [
@@ -138,7 +146,9 @@ class Fig3Result:
         return "\n".join(parts)
 
 
-def run(settings: Fig3Settings = Fig3Settings()) -> Fig3Result:
+def execute(settings: Fig3Settings) -> Fig3Result:
+    """Run the scripted scenario (pure function of ``settings``; picklable
+    top-level entry point so the runner can cache and fan it out)."""
     topo = scenario_topology()
     config = SimConfig(
         protocol=settings.protocol,
@@ -200,6 +210,13 @@ def run(settings: Fig3Settings = Fig3Settings()) -> Fig3Result:
         delivery_ratio=result.delivery_ratio,
         cost=result.cost,
     )
+
+
+def run(
+    settings: Fig3Settings = Fig3Settings(), runner: "ExperimentRunner" = None
+) -> Fig3Result:
+    runner = runner or default_runner()
+    return runner.run([Task(execute, settings, label=f"fig3 {settings.protocol}")])[0]
 
 
 if __name__ == "__main__":

@@ -21,11 +21,13 @@ from typing import Dict
 from repro.analysis.render import scatter, table
 from repro.experiments.common import (
     AveragedResult,
+    Cell,
     ExperimentScale,
     FULL_SCALE,
     improvement,
-    run_averaged,
+    run_cells,
 )
+from repro.runner import ExperimentRunner
 
 VARIANTS = {
     "ctp": "CTP T2",
@@ -96,10 +98,10 @@ class Fig6Result:
         )
 
 
-def run(scale: ExperimentScale = FULL_SCALE) -> Fig6Result:
-    return Fig6Result(
-        results={name: run_averaged(scale, name, label=VARIANTS[name]) for name in VARIANTS}
-    )
+def run(scale: ExperimentScale = FULL_SCALE, runner: "ExperimentRunner" = None) -> Fig6Result:
+    cells = [Cell.make(name, label=label) for name, label in VARIANTS.items()]
+    averaged = run_cells(scale, cells, runner)
+    return Fig6Result(results=dict(zip(VARIANTS, averaged)))
 
 
 if __name__ == "__main__":

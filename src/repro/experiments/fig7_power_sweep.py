@@ -18,11 +18,13 @@ from typing import Dict, List, Tuple
 from repro.analysis.render import scatter, table
 from repro.experiments.common import (
     AveragedResult,
+    Cell,
     ExperimentScale,
     FULL_SCALE,
     improvement,
-    run_averaged,
+    run_cells,
 )
+from repro.runner import ExperimentRunner
 
 POWERS_DBM = (0.0, -10.0, -20.0)
 PROTOCOLS = ("4b", "mhlqi")
@@ -105,13 +107,18 @@ class Fig7Result:
         )
 
 
-def run(scale: ExperimentScale = FULL_SCALE, powers: Tuple[float, ...] = POWERS_DBM) -> Fig7Result:
-    results = {}
-    for power in powers:
-        for proto in PROTOCOLS:
-            label = "4B" if proto == "4b" else "MultiHopLQI"
-            results[(proto, power)] = run_averaged(scale, proto, tx_power_dbm=power, label=label)
-    return Fig7Result(results=results, powers=powers)
+def run(
+    scale: ExperimentScale = FULL_SCALE,
+    powers: Tuple[float, ...] = POWERS_DBM,
+    runner: "ExperimentRunner" = None,
+) -> Fig7Result:
+    keys = [(proto, power) for power in powers for proto in PROTOCOLS]
+    cells = [
+        Cell.make(proto, label="4B" if proto == "4b" else "MultiHopLQI", tx_power_dbm=power)
+        for proto, power in keys
+    ]
+    averaged = run_cells(scale, cells, runner)
+    return Fig7Result(results=dict(zip(keys, averaged)), powers=powers)
 
 
 if __name__ == "__main__":

@@ -19,9 +19,12 @@ from repro.experiments.common import (
     AveragedResult,
     ExperimentScale,
     FULL_SCALE,
+    RunSpec,
+    average_runs,
     improvement,
-    run_averaged,
+    run_specs,
 )
+from repro.runner import ExperimentRunner
 
 PAPER_CLAIMS = {
     "mirage": {"cost_reduction": 0.29, "delivery_4b": 0.999, "delivery_mhlqi": 0.93},
@@ -83,14 +86,25 @@ class HeadlineResult:
         )
 
 
-def run(scale: ExperimentScale = FULL_SCALE) -> HeadlineResult:
+def run(scale: ExperimentScale = FULL_SCALE, runner: "ExperimentRunner" = None) -> HeadlineResult:
+    # Both testbeds go out as one batch so a parallel runner sees the whole
+    # 2 × 2 × seeds grid at once.
+    grid = [
+        (testbed, proto, label)
+        for testbed in ("mirage", "tutornet")
+        for proto, label in (("4b", "4B"), ("mhlqi", "MultiHopLQI"))
+    ]
+    specs = [
+        RunSpec.build(replace(scale, profile_name=testbed), proto, seed)
+        for testbed, proto, _ in grid
+        for seed in scale.seeds
+    ]
+    flat = run_specs(specs, runner)
     results: Dict[str, Dict[str, AveragedResult]] = {}
-    for testbed in ("mirage", "tutornet"):
-        tb_scale = replace(scale, profile_name=testbed)
-        results[testbed] = {
-            "4b": run_averaged(tb_scale, "4b", label="4B"),
-            "mhlqi": run_averaged(tb_scale, "mhlqi", label="MultiHopLQI"),
-        }
+    n = len(scale.seeds)
+    for i, (testbed, proto, label) in enumerate(grid):
+        runs = flat[i * n : (i + 1) * n]
+        results.setdefault(testbed, {})[proto] = average_runs(proto, label, runs)
     return HeadlineResult(results=results)
 
 

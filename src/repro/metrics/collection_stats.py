@@ -12,12 +12,24 @@
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import CollectionNetwork
+
+
+def json_sanitize(value):
+    """Recursively replace non-finite floats with ``None`` (JSON ``null``)."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_sanitize(v) for v in value]
+    return value
 
 
 @dataclass
@@ -40,6 +52,8 @@ class CollectionResult:
     #: End-to-end latency of delivered packets (seconds; NaN when unknown).
     latency_mean_s: float = math.nan
     latency_p95_s: float = math.nan
+    #: Simulator events executed by the run (throughput accounting).
+    events_run: int = 0
     per_node_delivery: Dict[int, float] = field(default_factory=dict)
     final_parents: Dict[int, Optional[int]] = field(default_factory=dict)
     final_depths: Dict[int, Optional[int]] = field(default_factory=dict)
@@ -67,6 +81,19 @@ class CollectionResult:
             f"delivery={self.delivery_ratio * 100:6.2f}%  tx={self.total_data_tx:7d}  "
             f"delivered={self.unique_delivered:5d}/{self.offered}"
         )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Strict-JSON view of the result.
+
+        ``cost`` is ``inf`` on runs that delivered nothing and the latency
+        fields default to ``NaN``; ``json.dump`` serializes those as the
+        invalid tokens ``Infinity``/``NaN``.  Here every non-finite float
+        becomes ``null`` so the output parses everywhere.
+        """
+        raw = dataclasses.asdict(self)
+        raw["cost"] = self.cost
+        raw["delivery_ratio"] = self.delivery_ratio
+        return json_sanitize(raw)
 
 
 def _mean_depth(samples: List[Dict[int, Optional[int]]], roots) -> tuple[float, float]:
@@ -136,6 +163,7 @@ def compute_result(network: "CollectionNetwork") -> CollectionResult:
         disconnected_fraction=disconnected,
         latency_mean_s=latency_mean,
         latency_p95_s=latency_p95,
+        events_run=network.engine.events_run,
         per_node_delivery=per_node,
         final_parents=network.parent_map(),
         final_depths=network.depth_map(),

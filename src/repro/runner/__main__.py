@@ -1,0 +1,120 @@
+"""Standalone sweep CLI for the parallel experiment runner.
+
+Runs a (protocol × tx-power × seed) collection grid through
+:class:`~repro.runner.runner.ExperimentRunner` and prints one summary row
+per cell plus runner throughput stats.  Examples::
+
+    # 2-core smoke sweep, cached in .repro-cache (the CI invocation)
+    python -m repro.runner --protocols 4b,mhlqi --powers 0 --seeds 2 \\
+        --nodes 20 --minutes 4 --workers 2 --cache-dir .repro-cache
+
+    # full fig7-style power sweep on 4 workers, JSON results
+    python -m repro.runner --protocols 4b,mhlqi --powers 0,-10,-20 \\
+        --seeds 4 --workers 4 --json results/sweep.json
+
+    # drop every cached result
+    python -m repro.runner --clear-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.runner.cache import ResultCache, cache_dir_from_env
+from repro.runner.runner import ExperimentRunner
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--protocols", default="4b,mhlqi", help="comma-separated protocol keys")
+    parser.add_argument("--powers", default="0", help="comma-separated tx powers (dBm)")
+    parser.add_argument("--seeds", type=int, default=2, help="run seeds 1..N per cell")
+    parser.add_argument("--profile", default="mirage", help="testbed profile name")
+    parser.add_argument("--nodes", type=int, default=None, help="shrink the testbed to N nodes")
+    parser.add_argument("--minutes", type=float, default=7.0, help="simulated minutes per run")
+    parser.add_argument("--warmup", type=float, default=2.0, help="warmup minutes")
+    parser.add_argument("--workers", type=int, default=1, help="process count (1 = serial)")
+    parser.add_argument("--timeout", type=float, default=None, help="per-run timeout (seconds)")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache location (default: $REPRO_CACHE_DIR or {cache_dir_from_env()})",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    parser.add_argument("--json", default=None, metavar="PATH", help="write results as JSON")
+    parser.add_argument("--clear-cache", action="store_true", help="delete cached results and exit")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    args = parser.parse_args(argv)
+
+    if args.clear_cache:
+        cache = ResultCache(args.cache_dir)
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.root}")
+        return 0
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    # Imported late so `--help`/`--clear-cache` stay instant.
+    from repro.experiments.common import Cell, ExperimentScale, run_cells
+
+    scale = ExperimentScale(
+        profile_name=args.profile,
+        n_nodes=args.nodes,
+        duration_s=args.minutes * 60.0,
+        warmup_s=args.warmup * 60.0,
+        seeds=tuple(range(1, args.seeds + 1)),
+    )
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    powers = [float(p) for p in args.powers.split(",") if p.strip()]
+    cells = [
+        Cell.make(proto, label=f"{proto} @{power:+.0f}dBm", tx_power_dbm=power)
+        for power in powers
+        for proto in protocols
+    ]
+
+    runner = ExperimentRunner(
+        workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        progress=not args.quiet,
+    )
+    averaged = run_cells(scale, cells, runner)
+
+    for result in averaged:
+        print(result.summary_row())
+    print(runner.stats.summary())
+
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "scale": {
+                "profile": args.profile,
+                "n_nodes": args.nodes,
+                "duration_s": scale.duration_s,
+                "warmup_s": scale.warmup_s,
+                "seeds": list(scale.seeds),
+            },
+            "cells": [r.to_json_dict() for r in averaged],
+            "runner": {
+                "workers": args.workers,
+                "cache_hits": runner.stats.cache_hits,
+                "executed": runner.stats.executed,
+                "events_run": runner.stats.events_run,
+                "wall_s": runner.stats.wall_s,
+            },
+        }
+        # to_json_dict maps inf/NaN to null, so strict JSON is safe here.
+        path.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Canonical, cross-process-stable digests of experiment configurations.
+
+The result cache keys each run by a BLAKE2b digest of its full
+configuration.  Like :func:`repro.sim.rng.derive_seed`, every value is
+serialized with an explicit type tag and length framing, so the digest is a
+pure function of the *values*: stable across processes, Python versions,
+and dict insertion orders (none of which is true of ``hash()`` or
+``repr()``).  Two configs collide only if they would produce the same run.
+
+Supported value types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, tuples/lists, dicts, and (possibly nested) dataclasses — which
+covers :class:`~repro.sim.network.SimConfig` and everything the experiment
+grids put in their override tables.  Anything else raises ``TypeError``
+rather than silently hashing an unstable representation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from typing import Any
+
+#: Bump to invalidate every cached result at once (e.g. after a simulator
+#: change that alters outputs without changing any config value).
+CACHE_SCHEMA_VERSION = 1
+
+
+def _frame(raw: bytes) -> bytes:
+    """Length-prefix ``raw`` so concatenated encodings cannot alias."""
+    return struct.pack("<I", len(raw)) + raw
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic byte encoding of ``value`` (see module docstring)."""
+    # bool before int: True would otherwise encode identically to 1.
+    if value is None:
+        return b"n"
+    if isinstance(value, bool):
+        return b"b1" if value else b"b0"
+    if isinstance(value, int):
+        return b"i" + _frame(str(value).encode("ascii"))
+    if isinstance(value, float):
+        return b"f" + struct.pack("<d", value)
+    if isinstance(value, str):
+        return b"s" + _frame(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return b"y" + _frame(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        body = b"".join(
+            _frame(canonical_bytes(f.name) + canonical_bytes(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+        return b"D" + _frame(f"{cls.__module__}.{cls.__qualname__}".encode("utf-8")) + _frame(body)
+    if isinstance(value, (tuple, list)):
+        tag = b"t" if isinstance(value, tuple) else b"l"
+        return tag + struct.pack("<I", len(value)) + b"".join(
+            _frame(canonical_bytes(v)) for v in value
+        )
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical_bytes(k), canonical_bytes(v)) for k, v in value.items()
+        )
+        return b"d" + struct.pack("<I", len(items)) + b"".join(
+            _frame(k) + _frame(v) for k, v in items
+        )
+    raise TypeError(
+        f"cannot canonically encode {type(value).__qualname__!r}; "
+        "use plain data or (nested) dataclasses in experiment configs"
+    )
+
+
+def config_digest(value: Any, schema_version: int = CACHE_SCHEMA_VERSION) -> str:
+    """Hex digest (128-bit BLAKE2b) of ``value``'s canonical encoding."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(_frame(str(schema_version).encode("ascii")))
+    h.update(canonical_bytes(value))
+    return h.hexdigest()

@@ -1,0 +1,347 @@
+"""Process-pool experiment runner with caching and crash isolation.
+
+Every simulator run is a pure function of its configuration, so a sweep is
+embarrassingly parallel and perfectly cacheable.  :class:`ExperimentRunner`
+takes a list of :class:`Task`\\ s (a picklable top-level function plus a
+canonically-hashable argument), answers what it can from the on-disk
+:class:`~repro.runner.cache.ResultCache`, and fans the misses out over a
+``ProcessPoolExecutor``:
+
+* **chunked submission** — at most ``workers × 4`` runs are in flight at a
+  time, so a 10 000-cell sweep does not materialize 10 000 pickled configs
+  and results at once;
+* **per-run timeout** — enforced *inside* the worker with ``SIGALRM``, so a
+  wedged run dies on its own without poisoning the pool;
+* **crash isolation** — a run that raises (or times out) is recorded as a
+  :class:`RunFailure` and the sweep continues; if a worker process dies
+  outright the pool is rebuilt and the remaining runs proceed.  Failures
+  surface at the *end* of the sweep as a :class:`RunnerError` (or as
+  ``None`` results with ``strict=False``).
+
+With ``workers <= 1`` tasks execute serially in-process — the runner is
+then behaviourally identical to the old serial loops (plus caching), which
+the equivalence test in ``tests/runner/`` pins down.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import MISS, ResultCache, cache_dir_from_env
+from repro.runner.hashing import config_digest
+
+
+class RunTimeout(Exception):
+    """Raised inside a worker when a run exceeds its time budget."""
+
+
+def _on_alarm(signum, frame):  # pragma: no cover - fires only on timeout
+    raise RunTimeout()
+
+
+def _call_with_timeout(fn: Callable[[Any], Any], arg: Any, timeout_s: Optional[float]) -> Any:
+    """Worker entry point: run ``fn(arg)`` under an optional SIGALRM budget."""
+    use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn(arg)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: ``fn(arg)`` with a cache identity.
+
+    ``fn`` must be a module-level function (pickled by reference for the
+    worker processes) and ``arg`` must be canonically hashable — plain data
+    or frozen dataclasses.  The cache key covers both, so two figures
+    sharing the exact same run (e.g. Figures 7 and 8) deduplicate.
+    """
+
+    fn: Callable[[Any], Any]
+    arg: Any
+    label: str = ""
+
+    def digest(self) -> str:
+        return config_digest((self.fn.__module__, self.fn.__qualname__, self.arg))
+
+    def describe(self) -> str:
+        return self.label or f"{self.fn.__qualname__}({self.arg!r})"
+
+
+@dataclass
+class RunFailure:
+    """One run that raised, timed out, or lost its worker."""
+
+    label: str
+    digest: str
+    error: str
+
+
+class RunnerError(RuntimeError):
+    """Raised after a sweep completes when some runs failed (strict mode)."""
+
+    def __init__(self, failures: List[RunFailure]):
+        self.failures = failures
+        lines = "\n".join(f"  - {f.label}: {f.error}" for f in failures[:20])
+        more = "" if len(failures) <= 20 else f"\n  … and {len(failures) - 20} more"
+        super().__init__(f"{len(failures)} run(s) failed:\n{lines}{more}")
+
+
+@dataclass
+class RunnerStats:
+    """Progress/throughput accounting for one sweep."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    failures: List[RunFailure] = field(default_factory=list)
+    #: Simulator events executed by the runs (from ``CollectionResult.events_run``).
+    events_run: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return self.executed + self.cache_hits + len(self.failures)
+
+    @property
+    def hit_rate(self) -> float:
+        done = self.completed
+        return self.cache_hits / done if done else 0.0
+
+    def runs_per_s(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def events_per_s(self) -> float:
+        return self.events_run / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.completed}/{self.total} runs",
+            f"{self.cache_hits} cached ({self.hit_rate * 100:.0f}%)",
+            f"{self.runs_per_s():.2f} runs/s",
+            f"{self.events_per_s() / 1000:.0f}k events/s",
+        ]
+        if self.failures:
+            parts.append(f"{len(self.failures)} FAILED")
+        return "[runner] " + ", ".join(parts) + f", {self.wall_s:.1f}s wall"
+
+
+class ExperimentRunner:
+    """Fan experiment tasks out across processes, memoizing results on disk.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` or ``<= 1`` runs serially in-process.
+    cache:
+        A :class:`ResultCache`, ``True`` for the default location
+        (``REPRO_CACHE_DIR`` or ``.repro-cache``), or ``None``/``False``
+        to disable caching.
+    timeout_s:
+        Per-run wall-clock budget, enforced in the worker via ``SIGALRM``.
+    chunk_size:
+        Maximum in-flight submissions (default ``workers × 4``).
+    progress:
+        When true, print throughput lines to stderr (≤ 1/s).
+    strict:
+        Raise :class:`RunnerError` after the sweep if any run failed;
+        with ``strict=False`` failed slots come back as ``None``.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Any = None,
+        timeout_s: Optional[float] = None,
+        chunk_size: Optional[int] = None,
+        progress: bool = False,
+        strict: bool = True,
+    ) -> None:
+        self.workers = int(workers) if workers else 1
+        if cache is True:
+            cache = ResultCache.default()
+        elif cache is False:
+            cache = None
+        # Explicit identity checks: an *empty* ResultCache is falsy (len 0)
+        # and `cache or None` would silently drop it.
+        self.cache: Optional[ResultCache] = cache
+        self.timeout_s = timeout_s
+        self.chunk_size = chunk_size or max(self.workers * 4, 4)
+        self.progress = progress
+        self.strict = strict
+        #: Stats for the most recent ``run()`` batch.
+        self.stats = RunnerStats()
+        #: Stats accumulated across every batch this runner has executed.
+        self.totals = RunnerStats()
+        self._last_report = 0.0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[Task]) -> List[Any]:
+        """Execute ``tasks`` and return their results in submission order.
+
+        Duplicate tasks (same digest) execute once.  Failed runs occupy
+        their slot with ``None``; in strict mode (the default) the sweep
+        still runs to completion, then raises :class:`RunnerError`.
+        """
+        t0 = time.monotonic()
+        stats = RunnerStats(total=len(tasks))
+        self.stats = stats
+        self._last_report = 0.0
+
+        digests = [task.digest() for task in tasks]
+        outcomes: Dict[str, Any] = {}
+        failed: Dict[str, RunFailure] = {}
+
+        # Cache pass + in-batch dedup: `todo` keeps first occurrence order.
+        todo: List[Tuple[Task, str]] = []
+        seen = set()
+        for task, digest in zip(tasks, digests):
+            if digest in seen:
+                continue
+            seen.add(digest)
+            if self.cache is not None:
+                hit = self.cache.get(digest)
+                if hit is not MISS:
+                    outcomes[digest] = hit
+                    stats.cache_hits += 1
+                    continue
+            todo.append((task, digest))
+        self._report(stats, t0)
+
+        if todo:
+            if self.workers <= 1:
+                self._run_serial(todo, outcomes, failed, stats, t0)
+            else:
+                self._run_pool(todo, outcomes, failed, stats, t0)
+
+        stats.wall_s = time.monotonic() - t0
+        self._report(stats, t0, force=True)
+        self.totals.total += stats.total
+        self.totals.executed += stats.executed
+        self.totals.cache_hits += stats.cache_hits
+        self.totals.failures.extend(stats.failures)
+        self.totals.events_run += stats.events_run
+        self.totals.wall_s += stats.wall_s
+        if failed and self.strict:
+            raise RunnerError(list(failed.values()))
+        return [outcomes.get(d) for d in digests]
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _record_ok(self, digest: str, result: Any, stats: RunnerStats) -> None:
+        stats.executed += 1
+        stats.events_run += int(getattr(result, "events_run", 0) or 0)
+        if self.cache is not None:
+            self.cache.put(digest, result)
+
+    def _run_serial(self, todo, outcomes, failed, stats, t0) -> None:
+        for task, digest in todo:
+            try:
+                result = _call_with_timeout(task.fn, task.arg, self.timeout_s)
+            except Exception as exc:
+                failed[digest] = self._failure(task, digest, exc, stats)
+            else:
+                outcomes[digest] = result
+                self._record_ok(digest, result, stats)
+            self._report(stats, t0)
+
+    def _run_pool(self, todo, outcomes, failed, stats, t0) -> None:
+        remaining = list(todo)
+        while remaining:
+            remaining = self._pool_round(remaining, outcomes, failed, stats, t0)
+
+    def _pool_round(self, todo, outcomes, failed, stats, t0) -> List[Tuple[Task, str]]:
+        """One pool lifetime; returns tasks left unsubmitted if it breaks."""
+        queue = iter(todo)
+        submitted = 0
+        in_flight: Dict[Any, Tuple[Task, str]] = {}
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+
+            def top_up() -> None:
+                nonlocal submitted
+                while len(in_flight) < self.chunk_size and submitted < len(todo):
+                    task, digest = todo[submitted]
+                    submitted += 1
+                    future = pool.submit(_call_with_timeout, task.fn, task.arg, self.timeout_s)
+                    in_flight[future] = (task, digest)
+
+            top_up()
+            while in_flight:
+                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    task, digest = in_flight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        failed[digest] = self._failure(task, digest, exc, stats)
+                    except Exception as exc:
+                        failed[digest] = self._failure(task, digest, exc, stats)
+                    else:
+                        outcomes[digest] = result
+                        self._record_ok(digest, result, stats)
+                    self._report(stats, t0)
+                if broken:
+                    # The pool is dead: everything still in flight fails with
+                    # it, but unsubmitted runs continue in a fresh pool.
+                    for future, (task, digest) in in_flight.items():
+                        failed[digest] = self._failure(
+                            task, digest, RuntimeError("worker pool died"), stats
+                        )
+                    self._report(stats, t0)
+                    return todo[submitted:]
+                top_up()
+        return []
+
+    def _failure(self, task: Task, digest: str, exc: BaseException, stats: RunnerStats) -> RunFailure:
+        if isinstance(exc, RunTimeout):
+            message = f"timed out after {self.timeout_s}s"
+        else:
+            message = f"{type(exc).__name__}: {exc}"
+        failure = RunFailure(label=task.describe(), digest=digest, error=message)
+        stats.failures.append(failure)
+        return failure
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def _report(self, stats: RunnerStats, t0: float, force: bool = False) -> None:
+        if not self.progress:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_report < 1.0:
+            return
+        self._last_report = now
+        stats.wall_s = now - t0
+        print(stats.summary(), file=sys.stderr, flush=True)
+
+
+def default_runner() -> ExperimentRunner:
+    """Runner configured from the environment.
+
+    ``REPRO_WORKERS`` sets the process count (default 1 = serial, the
+    historical behaviour) and ``REPRO_CACHE`` enables the on-disk cache
+    (any non-empty value other than ``0``; location from
+    ``REPRO_CACHE_DIR`` or ``.repro-cache``).
+    """
+    workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+    cache_flag = os.environ.get("REPRO_CACHE", "")
+    cache = ResultCache.default() if cache_flag not in ("", "0", "off", "false") else None
+    return ExperimentRunner(workers=workers, cache=cache)

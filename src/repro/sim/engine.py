@@ -15,20 +15,35 @@ from typing import Any, Callable, Optional
 class EventHandle:
     """Handle returned by :meth:`Engine.schedule`; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "canceled")
+    __slots__ = ("time", "seq", "fn", "args", "canceled", "engine")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        engine: "Optional[Engine]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.canceled = False
+        #: Back-reference while the handle sits in the engine's queue; the
+        #: engine clears it on pop so cancellation of a fired handle is a
+        #: no-op for the queue accounting.
+        self.engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.canceled:
+            return
         self.canceled = True
         self.fn = None  # release references early
         self.args = ()
+        if self.engine is not None:
+            self.engine._note_canceled()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -41,11 +56,19 @@ class EventHandle:
 class Engine:
     """Discrete-event scheduler with a monotonic simulated clock (seconds)."""
 
+    #: Never compact queues smaller than this — the scan costs more than the
+    #: handful of dead entries it would reclaim.
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list[EventHandle] = []
         self._seq = itertools.count()
         self._events_run = 0
+        #: Canceled handles still sitting in the heap.  Long runs cancel many
+        #: timers (MAC retries, Trickle resets); without compaction those dead
+        #: entries accumulate until their scheduled time arrives.
+        self._canceled_in_queue = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -60,17 +83,36 @@ class Engine:
         """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        handle = EventHandle(time, next(self._seq), fn, args)
+        handle = EventHandle(time, next(self._seq), fn, args, engine=self)
         heapq.heappush(self._queue, handle)
         return handle
+
+    def _note_canceled(self) -> None:
+        """A queued handle was canceled; compact when mostly dead."""
+        self._canceled_in_queue += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_QUEUE
+            and self._canceled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop canceled entries and restore the heap invariant.
+
+        ``__lt__`` totally orders handles by ``(time, seq)``, so re-heapifying
+        the surviving entries cannot change the order events fire in.
+        """
+        self._queue = [h for h in self._queue if not h.canceled]
+        heapq.heapify(self._queue)
+        self._canceled_in_queue = 0
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of queued (possibly canceled) events."""
-        return len(self._queue)
+        """Number of live (non-canceled) queued events."""
+        return len(self._queue) - self._canceled_in_queue
 
     @property
     def events_run(self) -> int:
@@ -81,7 +123,9 @@ class Engine:
         """Run the next event.  Returns ``False`` when the queue is empty."""
         while self._queue:
             handle = heapq.heappop(self._queue)
+            handle.engine = None
             if handle.canceled:
+                self._canceled_in_queue -= 1
                 continue
             self.now = handle.time
             fn, args = handle.fn, handle.args
@@ -98,6 +142,8 @@ class Engine:
             head = self._queue[0]
             if head.canceled:
                 heapq.heappop(self._queue)
+                head.engine = None
+                self._canceled_in_queue -= 1
                 continue
             if head.time > t_end:
                 break

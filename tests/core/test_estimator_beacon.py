@@ -136,12 +136,29 @@ def test_unidirectional_ignores_footer_quality():
     assert est.link_quality(NBR) == pytest.approx(1.0)
 
 
-def test_duplicate_seq_treated_as_full_gap():
-    # gap = (seq - last) % 256 = 0 → missed = max(0-1, 0) = 0; a repeated
-    # sequence number is counted as another reception, not a miss.
+def test_duplicate_seq_dropped_from_window():
+    # A beacon re-received with the same le_seq is not a new expected beacon;
+    # counting it would inflate the PRR window with phantom receptions.
     est, _, _ = build_estimator(EstimatorConfig(kb=100))
     beacon(est, NBR, seq=5)
     beacon(est, NBR, seq=5)
     entry = est.table.find(NBR)
-    assert entry.beacon_received == 2
+    assert entry.beacon_received == 1
     assert entry.beacon_missed == 0
+    assert est.stats.duplicate_beacons == 1
+
+
+def test_duplicate_seq_does_not_inflate_prr():
+    # kb=2 with alpha 0: each window's PRR lands directly in the estimate.
+    # The repeated seq=1 must not count as a reception: the final window is
+    # 1 received / 4 expected (ETX 4.0), where the phantom reception would
+    # have made it 2/5 (ETX 2.5) — a link better than the sender ever was.
+    config = EstimatorConfig(kb=2, alpha_beacon=0.0, alpha_outer=0.0)
+    est, _, _ = build_estimator(config)
+    beacon(est, NBR, seq=0)
+    beacon(est, NBR, seq=1)  # closes a 2/2 window, ETX 1.0
+    beacon(est, NBR, seq=1)  # duplicate — dropped
+    beacon(est, NBR, seq=5)  # gap 4: closes a 1/4 window
+    assert est.link_quality(NBR) == pytest.approx(4.0)
+    entry = est.table.find(NBR)
+    assert entry.expected_since_insert == 6

@@ -103,13 +103,17 @@ def test_property_seq_accounting_matches_modular_gaps(seqs):
     config = EstimatorConfig(table_size=4, kb=10_000, reboot_gap=256)
     est, _, _ = build_estimator(config)
     span = 0
+    duplicates = 0
     prev = None
     for seq in seqs:
         beacon(est, 1, seq=seq)
         if prev is not None:
-            span += (seq - prev) % 256 or 1  # duplicates count as received
+            gap = (seq - prev) % 256
+            span += gap  # a duplicate (gap 0) is dropped, contributing nothing
+            duplicates += gap == 0
         prev = seq
     entry = est.table.find(1)
     expected_total = entry.beacon_received + entry.beacon_missed
     # First beacon contributes 1 received, 0 missed.
     assert expected_total == 1 + span
+    assert est.stats.duplicate_beacons == duplicates

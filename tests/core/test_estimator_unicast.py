@@ -115,3 +115,20 @@ def test_client_sees_send_done():
     assert len(client.send_done) == 1
     frame, sent, acked = client.send_done[0]
     assert sent and acked
+
+
+def test_ack_resets_consecutive_failure_count():
+    est = seeded_estimator()
+    for _ in range(10):
+        unicast_attempt(est, NBR, acked=False)
+    assert est.link_quality(NBR) == pytest.approx(10.0)
+    # One ack ends the failure streak: the next window has uni_acked > 0,
+    # so the ratio rule applies (5 tx / 1 ack).
+    unicast_attempt(est, NBR, acked=True)
+    for _ in range(4):
+        unicast_attempt(est, NBR, acked=False)
+    assert est.link_quality(NBR) == pytest.approx(5.0)
+    # The streak restarts from the post-ack failures (4 so far + 5 new).
+    for _ in range(5):
+        unicast_attempt(est, NBR, acked=False)
+    assert est.link_quality(NBR) == pytest.approx(9.0)

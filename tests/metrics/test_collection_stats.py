@@ -78,3 +78,34 @@ def test_mean_depth_all_disconnected():
     depth, missing = _mean_depth([{0: 0, 1: None}], roots=0)
     assert math.isnan(depth)
     assert missing == 1.0
+
+
+# ----------------------------------------------------------------------
+# Strict-JSON export
+# ----------------------------------------------------------------------
+def test_to_json_dict_is_strict_json():
+    import json
+
+    from repro.metrics.collection_stats import json_sanitize
+
+    # Zero deliveries → infinite cost; no offered → NaN delivery ratio.
+    result = make_result(unique_delivered=0, offered=0)
+    payload = result.to_json_dict()
+    text = json.dumps(payload, allow_nan=False)  # raises on inf/NaN
+    assert payload["cost"] is None
+    assert payload["delivery_ratio"] is None
+    assert json.loads(text)["protocol"] == "4b"
+
+
+def test_to_json_dict_preserves_finite_values():
+    payload = make_result().to_json_dict()
+    assert payload["cost"] == pytest.approx(2.0)
+    assert payload["delivery_ratio"] == pytest.approx(0.95)
+    assert payload["per_node_delivery"] == {1: 1.0, 2: 0.9}
+
+
+def test_json_sanitize_recurses():
+    from repro.metrics.collection_stats import json_sanitize
+
+    value = {"a": [1.0, float("inf")], "b": {"c": float("nan")}, "d": (2, math.inf)}
+    assert json_sanitize(value) == {"a": [1.0, None], "b": {"c": None}, "d": [2, None]}

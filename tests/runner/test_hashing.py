@@ -1,0 +1,71 @@
+"""Canonical hashing: stability, order-independence, type distinctions."""
+
+import dataclasses
+
+import pytest
+
+from repro.runner.hashing import CACHE_SCHEMA_VERSION, canonical_bytes, config_digest
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    x: int
+    y: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Other:
+    x: int
+    y: float
+
+
+def test_digest_is_stable_across_calls():
+    value = {"a": [1, 2.5, "s"], "b": (None, True)}
+    assert config_digest(value) == config_digest(value)
+
+
+def test_dict_key_order_does_not_matter():
+    assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+
+def test_distinct_values_distinct_digests():
+    digests = {
+        config_digest(v)
+        for v in (None, True, False, 0, 1, "1", 1.0, (1,), [1], {"a": 1}, b"1")
+    }
+    assert len(digests) == 11  # bool != int, str != int, int != float, etc.
+
+
+def test_nested_structure_matters():
+    assert config_digest([1, [2, 3]]) != config_digest([[1, 2], 3])
+    assert config_digest(("ab", "c")) != config_digest(("a", "bc"))
+
+
+def test_dataclass_identity_includes_type_and_fields():
+    assert config_digest(Point(1, 2.0)) == config_digest(Point(1, 2.0))
+    assert config_digest(Point(1, 2.0)) != config_digest(Point(1, 3.0))
+    # Same field values, different class → different digest.
+    assert config_digest(Point(1, 2.0)) != config_digest(Other(1, 2.0))
+
+
+def test_schema_version_salts_digest():
+    value = {"a": 1}
+    assert config_digest(value, schema_version=CACHE_SCHEMA_VERSION) != config_digest(
+        value, schema_version=CACHE_SCHEMA_VERSION + 1
+    )
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(TypeError):
+        canonical_bytes(object())
+    with pytest.raises(TypeError):
+        config_digest({"fn": lambda: None})
+
+
+def test_canonical_bytes_golden():
+    """Pin the encoding itself: a silent change would orphan every cache."""
+    assert canonical_bytes(None) == b"n"
+    assert canonical_bytes(True) == b"b1"
+    assert canonical_bytes(False) == b"b0"
+    assert canonical_bytes(0).startswith(b"i")
+    assert canonical_bytes("x").startswith(b"s")

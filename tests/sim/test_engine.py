@@ -162,3 +162,72 @@ def test_property_canceled_events_never_fire(schedule):
     engine.run()
     expected = [i for i, (_, cancel) in enumerate(schedule) if not cancel]
     assert sorted(fired) == expected
+
+
+# ----------------------------------------------------------------------
+# Canceled-event bookkeeping (heap compaction)
+# ----------------------------------------------------------------------
+def test_pending_counts_live_events_only(engine):
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert engine.pending == 10
+    for h in handles[:4]:
+        h.cancel()
+    assert engine.pending == 6
+
+
+def test_mass_cancel_compacts_queue(engine):
+    """Canceling most of a large queue must shrink it immediately, not
+    leave dead entries to be popped one by one (the old leak)."""
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(200)]
+    for h in handles[:150]:
+        h.cancel()
+    # Compaction keeps dead entries below ~half the queue (150 canceled
+    # but never 150 retained), and pending tracks live events exactly.
+    assert len(engine._queue) <= 100
+    assert engine.pending == 50
+    # Survivors still fire, in order.
+    fired = []
+    for i, h in enumerate(handles[150:]):
+        h.fn = fired.append
+        h.args = (i,)
+    engine.run()
+    assert fired == list(range(50))
+
+
+def test_small_queue_not_compacted(engine):
+    """Below the size floor we tolerate dead entries (compaction is O(n))."""
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for h in handles:
+        h.cancel()
+    assert len(engine._queue) == 10  # dead, but below COMPACT_MIN_QUEUE
+    assert engine.pending == 0
+    engine.run()
+    assert engine.events_run == 0
+
+
+def test_cancel_after_fire_is_harmless(engine):
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "x")
+    engine.schedule(2.0, lambda: None)
+    engine.run()
+    handle.cancel()  # late cancel of an executed event
+    assert fired == ["x"]
+    assert engine.pending == 0
+    # Counter must not go stale/negative and later events still run.
+    engine.schedule(1.0, fired.append, "y")
+    engine.run()
+    assert fired == ["x", "y"]
+
+
+def test_interleaved_cancel_and_run(engine):
+    fired = []
+    keep = []
+    for i in range(300):
+        h = engine.schedule(float(i + 1), fired.append, i)
+        if i % 3 == 0:
+            keep.append(i)
+        else:
+            h.cancel()
+    engine.run()
+    assert fired == keep
+    assert engine.pending == 0
