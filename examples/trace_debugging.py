@@ -3,16 +3,19 @@
 
 Instruments every node of a small 4B network, runs five minutes of
 collection, and prints parent changes, a transmission ledger for the
-busiest node, and one node's estimator table snapshot — the workflow for
-debugging a misbehaving deployment.
+busiest node, a cross-layer metrics excerpt, and one node's estimator
+table snapshot — the workflow for debugging a misbehaving deployment.
+The full trace is exported to JSONL for the offline analysis CLI.
 
 Usage:
     python examples/trace_debugging.py
+    python -m repro.obs summary results/trace.jsonl      # afterwards
 """
 
 from collections import Counter
 
 from repro import CollectionNetwork, MIRAGE, SimConfig, scaled_profile
+from repro.obs import network_metrics
 from repro.sim.trace import instrument_network
 
 
@@ -21,7 +24,7 @@ def main() -> None:
     topology = profile.topology(seed=11)
     config = SimConfig(protocol="4b", seed=4, duration_s=300.0, warmup_s=100.0)
     network = CollectionNetwork(topology, config, profile=profile)
-    tracer = instrument_network(network)
+    tracer = instrument_network(network, etx_sample_s=60.0)
     result = network.run()
 
     print(result.summary_row())
@@ -32,7 +35,7 @@ def main() -> None:
 
     by_node = Counter(r.node for r in tracer.filter(kind="tx"))
     busiest, tx_count = by_node.most_common(1)[0]
-    unacked = sum(1 for r in tracer.filter(kind="tx", node=busiest) if "ack=0" in r.detail)
+    unacked = sum(1 for r in tracer.filter(kind="tx", node=busiest) if r.get("ack") == 0)
     print(f"--- busiest transmitter: node {busiest} ({tx_count} unicasts, {unacked} unacked) ---")
     print(tracer.render(kind="tx", node=busiest, limit=10))
     print()
@@ -43,6 +46,20 @@ def main() -> None:
         etx = f"{row['etx']:.2f}" if row["mature"] else " inf"
         pin = "PIN" if row["pinned"] else "   "
         print(f"  nbr {row['addr']:>3}  {pin}  etx={etx}  prr_in={prr_in}")
+    print()
+
+    # Every layer's counters, folded into one network-wide registry.
+    registry = network_metrics(network, per_node=False)
+    print("--- cross-layer metrics (estimator excerpt) ---")
+    print(registry.render(prefix="est.estimator"))
+    print()
+
+    path = "results/trace.jsonl"
+    count = tracer.to_jsonl(path)
+    print(f"wrote {count} records to {path} — analyze offline with:")
+    print(f"  python -m repro.obs summary {path}")
+    print(f"  python -m repro.obs flaps {path}")
+    print(f"  python -m repro.obs convergence {path} --node {busiest}")
 
 
 if __name__ == "__main__":

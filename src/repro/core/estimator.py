@@ -107,7 +107,12 @@ class EstimatorConfig:
 
 @dataclass
 class EstimatorStats:
-    """Observability counters for experiments and tests."""
+    """Observability counters for experiments and tests.
+
+    These are the four-bit events: white-bit gated insertion attempts,
+    compare-bit queries and their outcomes, pin-protected evictions, and
+    the two ETX sample streams (ack bit / beacons).
+    """
 
     beacons_sent: int = 0
     beacons_received: int = 0
@@ -123,6 +128,16 @@ class EstimatorStats:
     rejected_all_pinned: int = 0
     unicast_samples: int = 0
     beacon_samples: int = 0
+
+    #: Metric name prefix (``layer.component``) in the obs registry.
+    METRICS_PREFIX = "est.estimator"
+
+    def register_into(self, registry, **labels) -> None:
+        """Register every counter as ``est.estimator.<field>`` in an
+        :class:`repro.obs.metrics.MetricsRegistry`."""
+        from repro.obs.metrics import register_dataclass_counters
+
+        register_dataclass_counters(registry, self.METRICS_PREFIX, self, **labels)
 
 
 class HybridLinkEstimator(LinkEstimator):

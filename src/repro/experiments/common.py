@@ -22,6 +22,7 @@ from statistics import mean
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.collection_stats import CollectionResult, json_sanitize
+from repro.obs.profile import merge_profiles
 from repro.runner import ExperimentRunner, Task, default_runner
 from repro.sim.network import CollectionNetwork, SimConfig
 from repro.topology.testbeds import PROFILES, TestbedProfile, scaled_profile
@@ -192,6 +193,9 @@ class AveragedResult:
     #: Per-node delivery ratios pooled across seeds (Figure 8 boxplots).
     pooled_node_delivery: List[float] = field(default_factory=list)
     runs: List[CollectionResult] = field(default_factory=list)
+    #: Merged engine profile when the runs were profiled
+    #: (``profile_events=True``); see ``repro.obs.profile.merge_profiles``.
+    profile: Optional[Dict[str, object]] = None
 
     def summary_row(self) -> str:
         return (
@@ -209,6 +213,7 @@ class AveragedResult:
                 "avg_tree_depth": self.avg_tree_depth,
                 "delivery_ratio": self.delivery_ratio,
                 "pooled_node_delivery": self.pooled_node_delivery,
+                "profile": self.profile,
                 "runs": [r.to_json_dict() for r in self.runs],
             }
         )
@@ -226,6 +231,7 @@ def average_runs(protocol: str, label: str, runs: Sequence[CollectionResult]) ->
         delivery_ratio=mean(r.delivery_ratio for r in runs),
         pooled_node_delivery=pooled,
         runs=runs,
+        profile=merge_profiles([r.profile for r in runs]),
     )
 
 

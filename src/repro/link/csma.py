@@ -22,11 +22,18 @@ class CsmaBackoff:
         self.rng = rng
         self._be = params.min_be
         self._attempts = 0
+        self._slots_waited = 0
 
     @property
     def attempts(self) -> int:
         """CCA rounds consumed so far."""
         return self._attempts
+
+    @property
+    def slots_waited(self) -> int:
+        """Unit backoff periods drawn so far (how congested the channel
+        looked to this frame — feeds ``link.mac.backoff_slots``)."""
+        return self._slots_waited
 
     def next_delay(self) -> Optional[float]:
         """Delay before the next CCA, or ``None`` when attempts are exhausted.
@@ -38,5 +45,6 @@ class CsmaBackoff:
             return None
         slots = self.rng.randrange(2 ** self._be)
         self._attempts += 1
+        self._slots_waited += slots
         self._be = min(self._be + 1, self.params.max_be)
         return slots * self.params.backoff_unit_s

@@ -36,6 +36,11 @@ class Frame:
     def is_broadcast(self) -> bool:
         return self.dst == BROADCAST
 
+    @property
+    def is_ack(self) -> bool:
+        """True for synchronous L2 acks (excluded from phy ``rx`` traces)."""
+        return False
+
     def describe(self) -> str:
         """Short human-readable tag used in traces."""
         return type(self).__name__
@@ -46,6 +51,10 @@ class AckFrame(Frame):
     """Synchronous layer-2 acknowledgment (802.15.4: 11 bytes on air)."""
 
     acked_frame_id: int = 0
+
+    @property
+    def is_ack(self) -> bool:
+        return True
 
     def describe(self) -> str:
         return f"Ack({self.acked_frame_id})"

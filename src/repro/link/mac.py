@@ -32,6 +32,19 @@ class MacStats:
     acks_sent: int = 0
     channel_access_failures: int = 0
     frames_delivered_up: int = 0
+    #: CCA rounds consumed across all transmissions (≥1 per frame).
+    backoff_rounds: int = 0
+    #: Unit backoff periods actually waited (CSMA congestion signal).
+    backoff_slots: int = 0
+
+    METRICS_PREFIX = "link.mac"
+
+    def register_into(self, registry, **labels) -> None:
+        """Register every counter as ``link.mac.<field>`` in an
+        :class:`repro.obs.metrics.MetricsRegistry`."""
+        from repro.obs.metrics import register_dataclass_counters
+
+        register_dataclass_counters(registry, self.METRICS_PREFIX, self, **labels)
 
 
 class Mac:
@@ -115,6 +128,9 @@ class Mac:
     def _finish(self, sent: bool, ack_bit: bool) -> None:
         frame = self._current
         backoffs = self._backoff.attempts if self._backoff is not None else 0
+        if self._backoff is not None:
+            self.stats.backoff_rounds += self._backoff.attempts
+            self.stats.backoff_slots += self._backoff.slots_waited
         self._current = None
         self._backoff = None
         if self._ack_timer is not None:

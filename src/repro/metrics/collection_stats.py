@@ -54,6 +54,12 @@ class CollectionResult:
     latency_p95_s: float = math.nan
     #: Simulator events executed by the run (throughput accounting).
     events_run: int = 0
+    #: Engine profile (``SimConfig(profile_events=True)``): wall time per
+    #: event kind, events/sec, queue depth — see ``repro.obs.profile``.
+    profile: Optional[Dict[str, object]] = None
+    #: Cross-layer metrics snapshot (``SimConfig(collect_metrics=True)``):
+    #: the flat ``repro.obs`` registry view of every layer's counters.
+    metrics: Optional[Dict[str, float]] = None
     per_node_delivery: Dict[int, float] = field(default_factory=dict)
     final_parents: Dict[int, Optional[int]] = field(default_factory=dict)
     final_depths: Dict[int, Optional[int]] = field(default_factory=dict)
@@ -147,6 +153,13 @@ def compute_result(network: "CollectionNetwork") -> CollectionResult:
     else:
         latency_mean = latency_p95 = math.nan
 
+    profiler = getattr(network.engine, "profiler", None)
+    metrics_snapshot = None
+    if getattr(network.config, "collect_metrics", False):
+        from repro.obs.bridge import network_metrics
+
+        metrics_snapshot = network_metrics(network).snapshot()
+
     return CollectionResult(
         protocol=network.config.protocol,
         seed=network.config.seed,
@@ -164,6 +177,8 @@ def compute_result(network: "CollectionNetwork") -> CollectionResult:
         latency_mean_s=latency_mean,
         latency_p95_s=latency_p95,
         events_run=network.engine.events_run,
+        profile=profiler.summary() if profiler is not None else None,
+        metrics=metrics_snapshot,
         per_node_delivery=per_node,
         final_parents=network.parent_map(),
         final_depths=network.depth_map(),

@@ -53,6 +53,15 @@ class ForwardingStats:
     drops_thl: int = 0
     duplicates_suppressed: int = 0
 
+    METRICS_PREFIX = "net.forwarding"
+
+    def register_into(self, registry, **labels) -> None:
+        """Register every counter as ``net.forwarding.<field>`` in an
+        :class:`repro.obs.metrics.MetricsRegistry`."""
+        from repro.obs.metrics import register_dataclass_counters
+
+        register_dataclass_counters(registry, self.METRICS_PREFIX, self, **labels)
+
 
 class _QueuedPacket:
     __slots__ = ("origin", "origin_seq", "thl", "retries", "origin_time")

@@ -59,6 +59,15 @@ class RoutingStats:
     compare_false: int = 0
     loop_signals: int = 0
 
+    METRICS_PREFIX = "net.routing"
+
+    def register_into(self, registry, **labels) -> None:
+        """Register every counter as ``net.routing.<field>`` in an
+        :class:`repro.obs.metrics.MetricsRegistry`."""
+        from repro.obs.metrics import register_dataclass_counters
+
+        register_dataclass_counters(registry, self.METRICS_PREFIX, self, **labels)
+
 
 class CtpRoutingEngine(CompareBitProvider):
     """Parent selection, beaconing, and the network layer's two bits."""

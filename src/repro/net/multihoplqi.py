@@ -116,6 +116,15 @@ class MhlqiStats:
     drops_thl: int = 0
     duplicates_suppressed: int = 0
 
+    METRICS_PREFIX = "net.mhlqi"
+
+    def register_into(self, registry, **labels) -> None:
+        """Register every counter as ``net.mhlqi.<field>`` in an
+        :class:`repro.obs.metrics.MetricsRegistry`."""
+        from repro.obs.metrics import register_dataclass_counters
+
+        register_dataclass_counters(registry, self.METRICS_PREFIX, self, **labels)
+
 
 class _QueuedPacket:
     __slots__ = ("origin", "origin_seq", "thl", "retries", "origin_time")

@@ -1,0 +1,41 @@
+"""repro.obs — the unified telemetry layer.
+
+Three pillars, all optional and all zero-cost when unused:
+
+* :mod:`repro.obs.metrics` — a cross-layer **metrics registry**: named
+  counters, gauges and histograms with label support (``node``,
+  ``neighbor``, ``layer``), snapshotable as a flat dict and mergeable
+  across nodes and runs.  Metric names follow ``layer.component.event``
+  (e.g. ``est.estimator.rejected_no_white``).
+* :mod:`repro.obs.profile` — a lightweight **run profiler** for the
+  discrete-event engine: wall time per event kind, events/sec, and queue
+  depth over time.  Enabled per run via ``SimConfig(profile_events=True)``.
+* :mod:`repro.obs.cli` — an **offline trace-analysis CLI**
+  (``python -m repro.obs``) that answers debugging questions from an
+  exported JSONL trace: per-node timelines, parent-flap counts, ETX
+  convergence against ground truth, and whole-run summaries.
+
+The structured tracing itself lives in :mod:`repro.sim.trace` (it hooks a
+built network); :func:`repro.obs.bridge.network_metrics` lifts every
+layer's ad-hoc stats dataclasses into one registry after a run.
+"""
+
+from repro.obs.bridge import network_metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    register_dataclass_counters,
+)
+from repro.obs.profile import EngineProfiler
+
+__all__ = [
+    "Counter",
+    "EngineProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "network_metrics",
+    "register_dataclass_counters",
+]

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.obs`` → the offline trace-analysis CLI."""
+
+import sys
+
+from repro.obs.cli import main
+
+sys.exit(main())

@@ -1,0 +1,139 @@
+"""Run profiling for the discrete-event engine.
+
+An :class:`EngineProfiler` attaches to :class:`~repro.sim.engine.Engine`
+(via ``engine.enable_profiling()``) and records, for every event executed:
+
+* wall time bucketed by **event kind** (the callback's qualified name —
+  ``Mac._cca``, ``CtpForwardingEngine._pump``, …), so a sweep can report
+  where real time goes;
+* total events and wall seconds → events/sec;
+* **queue depth over (simulated) time**, sampled every
+  ``queue_sample_every`` events, so backlog growth is visible.
+
+The engine pays a single ``is not None`` branch per event when profiling is
+off; the measured overhead when on is one ``perf_counter`` pair per event.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+
+class EngineProfiler:
+    """Per-event-kind wall-time and queue-depth accounting."""
+
+    __slots__ = (
+        "event_counts",
+        "event_wall_s",
+        "queue_samples",
+        "queue_sample_every",
+        "_since_sample",
+        "_wall_start",
+        "wall_s",
+        "events",
+    )
+
+    def __init__(self, queue_sample_every: int = 256) -> None:
+        self.event_counts: Dict[str, int] = {}
+        self.event_wall_s: Dict[str, float] = {}
+        #: (simulated time, live queue depth) samples.
+        self.queue_samples: List[Tuple[float, int]] = []
+        self.queue_sample_every = max(1, queue_sample_every)
+        self._since_sample = 0
+        self._wall_start: Optional[float] = None
+        self.wall_s = 0.0
+        self.events = 0
+
+    def record(self, kind: str, wall_s: float, sim_time: float, queue_depth: int) -> None:
+        """Account one executed event (called by the engine's step loop)."""
+        if self._wall_start is None:
+            self._wall_start = perf_counter()
+        self.events += 1
+        self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+        self.event_wall_s[kind] = self.event_wall_s.get(kind, 0.0) + wall_s
+        self._since_sample += 1
+        if self._since_sample >= self.queue_sample_every:
+            self._since_sample = 0
+            self.queue_samples.append((sim_time, queue_depth))
+        self.wall_s = perf_counter() - self._wall_start
+
+    # ------------------------------------------------------------------
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def by_kind(self) -> List[Tuple[str, int, float]]:
+        """(kind, count, wall seconds) rows, most expensive first."""
+        rows = [
+            (kind, self.event_counts[kind], self.event_wall_s.get(kind, 0.0))
+            for kind in self.event_counts
+        ]
+        rows.sort(key=lambda r: r[2], reverse=True)
+        return rows
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-safe profile payload (attached to ``CollectionResult``)."""
+        depths = [d for _, d in self.queue_samples]
+        return {
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "events_per_s": self.events_per_s(),
+            "by_kind": {
+                kind: {"count": count, "wall_s": wall}
+                for kind, count, wall in self.by_kind()
+            },
+            "queue_depth": {
+                "samples": len(depths),
+                "max": max(depths) if depths else 0,
+                "mean": sum(depths) / len(depths) if depths else 0.0,
+            },
+        }
+
+    def render(self, limit: int = 12) -> str:
+        """Terminal-friendly profile table."""
+        rows = self.by_kind()
+        lines = [
+            f"{self.events} events in {self.wall_s:.2f}s wall "
+            f"({self.events_per_s() / 1000:.0f}k events/s)"
+        ]
+        for kind, count, wall in rows[:limit]:
+            share = wall / self.wall_s * 100 if self.wall_s > 0 else 0.0
+            lines.append(f"  {kind:<40} {count:>9} ev  {wall:7.3f}s  {share:5.1f}%")
+        if len(rows) > limit:
+            lines.append(f"  … and {len(rows) - limit} more kinds")
+        depths = [d for _, d in self.queue_samples]
+        if depths:
+            lines.append(
+                f"  queue depth: mean {sum(depths) / len(depths):.0f}, max {max(depths)}"
+            )
+        return "\n".join(lines)
+
+
+def merge_profiles(profiles: List[Optional[Dict[str, object]]]) -> Optional[Dict[str, object]]:
+    """Fold ``CollectionResult.profile`` dicts from several runs into one.
+
+    Used by the sweep harness to answer "where does the whole sweep spend
+    its time" without keeping per-run profilers alive.
+    """
+    live = [p for p in profiles if p]
+    if not live:
+        return None
+    by_kind: Dict[str, Dict[str, float]] = {}
+    events = 0
+    wall = 0.0
+    for p in live:
+        events += int(p.get("events", 0))
+        wall += float(p.get("wall_s", 0.0))
+        for kind, row in p.get("by_kind", {}).items():
+            agg = by_kind.setdefault(kind, {"count": 0, "wall_s": 0.0})
+            agg["count"] += int(row.get("count", 0))
+            agg["wall_s"] += float(row.get("wall_s", 0.0))
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_s": events / wall if wall > 0 else 0.0,
+        "by_kind": dict(
+            sorted(by_kind.items(), key=lambda kv: kv[1]["wall_s"], reverse=True)
+        ),
+        "runs": len(live),
+    }

@@ -24,6 +24,10 @@ class WhiteBitPolicy:
     def evaluate(self, snr_db: float, lqi: int) -> bool:
         raise NotImplementedError
 
+    def describe(self) -> str:
+        """Short human-readable tag for trace/metric metadata."""
+        return type(self).__name__
+
 
 @dataclass(frozen=True)
 class LqiWhiteBit(WhiteBitPolicy):
@@ -38,6 +42,9 @@ class LqiWhiteBit(WhiteBitPolicy):
     def evaluate(self, snr_db: float, lqi: int) -> bool:
         return lqi >= self.threshold
 
+    def describe(self) -> str:
+        return f"lqi>={self.threshold}"
+
 
 @dataclass(frozen=True)
 class SnrWhiteBit(WhiteBitPolicy):
@@ -47,6 +54,9 @@ class SnrWhiteBit(WhiteBitPolicy):
 
     def evaluate(self, snr_db: float, lqi: int) -> bool:
         return snr_db >= self.threshold_db
+
+    def describe(self) -> str:
+        return f"snr>={self.threshold_db:.1f}dB"
 
     @classmethod
     def from_prr_target(cls, target_prr: float = 0.999, length_bytes: int = 100) -> "SnrWhiteBit":
@@ -61,6 +71,9 @@ class NeverWhiteBit(WhiteBitPolicy):
 
     def evaluate(self, snr_db: float, lqi: int) -> bool:
         return False
+
+    def describe(self) -> str:
+        return "never"
 
 
 #: Default derivation used by the simulated CC2420 stack.

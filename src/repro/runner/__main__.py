@@ -48,9 +48,21 @@ def main(argv=None) -> int:
         help=f"result cache location (default: $REPRO_CACHE_DIR or {cache_dir_from_env()})",
     )
     parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
-    parser.add_argument("--json", default=None, metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write results as JSON ('-' = stdout; summary rows then move to stderr)",
+    )
     parser.add_argument("--clear-cache", action="store_true", help="delete cached results and exit")
-    parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress, summary rows and stats"
+    )
+    parser.add_argument(
+        "--profile-events",
+        action="store_true",
+        help="profile the event loop in every run and report where time went",
+    )
     args = parser.parse_args(argv)
 
     if args.clear_cache:
@@ -72,8 +84,9 @@ def main(argv=None) -> int:
     )
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     powers = [float(p) for p in args.powers.split(",") if p.strip()]
+    overrides = {"profile_events": True} if args.profile_events else {}
     cells = [
-        Cell.make(proto, label=f"{proto} @{power:+.0f}dBm", tx_power_dbm=power)
+        Cell.make(proto, label=f"{proto} @{power:+.0f}dBm", tx_power_dbm=power, **overrides)
         for power in powers
         for proto in protocols
     ]
@@ -86,13 +99,17 @@ def main(argv=None) -> int:
     )
     averaged = run_cells(scale, cells, runner)
 
-    for result in averaged:
-        print(result.summary_row())
-    print(runner.stats.summary())
+    # Only JSON may touch stdout when `--json -` is in play: summary rows
+    # move to stderr so `python -m repro.runner --json - | jq` stays valid.
+    rows_out = sys.stderr if args.json == "-" else sys.stdout
+    if not args.quiet:
+        for result in averaged:
+            print(result.summary_row(), file=rows_out)
+        print(runner.stats.summary(), file=sys.stderr)
+        if args.profile_events:
+            print(runner.stats.profile_report(), file=sys.stderr)
 
     if args.json:
-        path = Path(args.json)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "scale": {
                 "profile": args.profile,
@@ -108,11 +125,18 @@ def main(argv=None) -> int:
                 "executed": runner.stats.executed,
                 "events_run": runner.stats.events_run,
                 "wall_s": runner.stats.wall_s,
+                "profile": runner.stats.profile,
             },
         }
         # to_json_dict maps inf/NaN to null, so strict JSON is safe here.
-        path.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
-        print(f"wrote {path}")
+        text = json.dumps(payload, indent=2, allow_nan=False) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            path = Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            print(f"wrote {path}", file=sys.stderr)
     return 0
 
 

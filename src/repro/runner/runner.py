@@ -111,6 +111,9 @@ class RunnerStats:
     #: Simulator events executed by the runs (from ``CollectionResult.events_run``).
     events_run: int = 0
     wall_s: float = 0.0
+    #: Merged engine profile across runs that carried one
+    #: (``SimConfig(profile_events=True)``); see ``repro.obs.profile``.
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def completed(self) -> int:
@@ -126,6 +129,37 @@ class RunnerStats:
 
     def events_per_s(self) -> float:
         return self.events_run / self.wall_s if self.wall_s > 0 else 0.0
+
+    def absorb_profile(self, profile: Optional[Dict[str, object]]) -> None:
+        """Fold one run's (or batch's) engine profile into this stats object."""
+        if not profile:
+            return
+        from repro.obs.profile import merge_profiles
+
+        runs = sum(int(p.get("runs", 1)) for p in (self.profile, profile) if p)
+        self.profile = merge_profiles([self.profile, profile])
+        if self.profile is not None:
+            self.profile["runs"] = runs
+
+    def profile_report(self, limit: int = 10) -> str:
+        """Terminal-friendly where-does-the-time-go table for the sweep."""
+        p = self.profile
+        if not p:
+            return "[profile] no profile data (runs need profile_events=True)"
+        wall = float(p.get("wall_s", 0.0))
+        lines = [
+            f"[profile] {p.get('events', 0)} events over {p.get('runs', 1)} run(s), "
+            f"{wall:.2f}s in-loop ({float(p.get('events_per_s', 0.0)) / 1000:.0f}k events/s)"
+        ]
+        by_kind = list(p.get("by_kind", {}).items())
+        for kind, row in by_kind[:limit]:
+            share = row["wall_s"] / wall * 100 if wall > 0 else 0.0
+            lines.append(
+                f"  {kind:<40} {row['count']:>9} ev  {row['wall_s']:7.3f}s  {share:5.1f}%"
+            )
+        if len(by_kind) > limit:
+            lines.append(f"  … and {len(by_kind) - limit} more kinds")
+        return "\n".join(lines)
 
     def summary(self) -> str:
         parts = [
@@ -237,6 +271,7 @@ class ExperimentRunner:
         self.totals.failures.extend(stats.failures)
         self.totals.events_run += stats.events_run
         self.totals.wall_s += stats.wall_s
+        self.totals.absorb_profile(stats.profile)
         if failed and self.strict:
             raise RunnerError(list(failed.values()))
         return [outcomes.get(d) for d in digests]
@@ -247,6 +282,7 @@ class ExperimentRunner:
     def _record_ok(self, digest: str, result: Any, stats: RunnerStats) -> None:
         stats.executed += 1
         stats.events_run += int(getattr(result, "events_run", 0) or 0)
+        stats.absorb_profile(getattr(result, "profile", None))
         if self.cache is not None:
             self.cache.put(digest, result)
 

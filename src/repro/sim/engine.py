@@ -9,7 +9,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.profile import EngineProfiler
 
 
 class EventHandle:
@@ -69,6 +73,9 @@ class Engine:
         #: timers (MAC retries, Trickle resets); without compaction those dead
         #: entries accumulate until their scheduled time arrives.
         self._canceled_in_queue = 0
+        #: Optional run profiler (see :meth:`enable_profiling`).  The hot
+        #: path pays one ``is not None`` branch per event when disabled.
+        self.profiler: "Optional[EngineProfiler]" = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -119,6 +126,15 @@ class Engine:
         """Number of events executed so far."""
         return self._events_run
 
+    def enable_profiling(self, profiler: "Optional[EngineProfiler]" = None) -> "EngineProfiler":
+        """Attach a run profiler (created on demand); returns it."""
+        if profiler is None:
+            from repro.obs.profile import EngineProfiler
+
+            profiler = EngineProfiler()
+        self.profiler = profiler
+        return profiler
+
     def step(self) -> bool:
         """Run the next event.  Returns ``False`` when the queue is empty."""
         while self._queue:
@@ -132,7 +148,17 @@ class Engine:
             handle.fn, handle.args = None, ()  # break cycles
             self._events_run += 1
             assert fn is not None
-            fn(*args)
+            if self.profiler is None:
+                fn(*args)
+            else:
+                t0 = perf_counter()
+                fn(*args)
+                self.profiler.record(
+                    getattr(fn, "__qualname__", repr(fn)),
+                    perf_counter() - t0,
+                    self.now,
+                    len(self._queue) - self._canceled_in_queue,
+                )
             return True
         return False
 

@@ -93,6 +93,8 @@ class RadioMedium:
         self.transmissions = 0
         self.deliveries = 0
         self.collisions = 0
+        #: Deliveries whose white bit came back set (phy-layer telemetry).
+        self.white_bits_set = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -224,14 +226,17 @@ class RadioMedium:
                     self.collisions += 1
                 continue
             lqi = self.lqi_model.sample(sinr_db, stream)
+            white = self.white_bit_policy.evaluate(sinr_db, lqi)
             info = RxInfo(
                 timestamp=t,
                 rssi_dbm=rssi,
                 snr_db=sinr_db,
                 lqi=lqi,
-                white_bit=self.white_bit_policy.evaluate(sinr_db, lqi),
+                white_bit=white,
             )
             self.deliveries += 1
+            if white:
+                self.white_bits_set += 1
             receiver.on_frame_received(tx.frame, info)
 
     def _was_transmitting(self, node_id: int, start: float, end: float) -> bool:

@@ -67,6 +67,12 @@ class SimConfig:
     #: (signal/noise threshold), or "never" (hardware provides nothing —
     #: the paper's worst case, appropriate for CC1000).
     white_bit: str = "lqi"
+    #: Profile the event loop (wall time per event kind, events/sec, queue
+    #: depth); the profile surfaces on ``CollectionResult.profile``.
+    profile_events: bool = False
+    #: Attach a cross-layer metrics snapshot (``repro.obs`` registry, flat
+    #: dict) to ``CollectionResult.metrics`` at the end of the run.
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -109,6 +115,12 @@ class CollectionNetwork:
         self.nodes: Dict[int, Node] = {}
         self.interferers: List[MarkovInterferer] = []
         self._depth_samples: List[Dict[int, Optional[int]]] = []
+        #: Callbacks invoked with the network after the event loop drains,
+        #: before the result is computed (tracing uses this for end-of-run
+        #: stats records).
+        self.on_run_end: List = []
+        if config.profile_events:
+            self.engine.enable_profiling()
         self._build_nodes()
         self._build_interferers()
         apply_hardware_variation(
@@ -297,4 +309,6 @@ class CollectionNetwork:
     # ------------------------------------------------------------------
     def run(self) -> CollectionResult:
         self.engine.run_until(self.config.duration_s)
+        for hook in self.on_run_end:
+            hook(self)
         return compute_result(self)

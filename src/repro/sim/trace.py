@@ -13,41 +13,226 @@ Typical use, debugging a misbehaving run::
     net.run()
     print(tracer.render(limit=50))
     parent_flaps = tracer.count(kind="parent-change", node=17)
+
+Traces export to JSONL (one JSON object per line) and round-trip through
+:meth:`Tracer.to_jsonl` / :meth:`Tracer.from_jsonl`; the offline analysis
+CLI (``python -m repro.obs``) answers summary/timeline/flap/convergence
+questions over the exported file.
+
+Trace schema
+============
+
+Every record serializes flat: the three reserved keys ``t`` (simulated
+seconds), ``kind``, ``node``, plus the record's typed fields.  Lines whose
+``kind`` starts with ``_`` are tracer metadata, not events.  Record kinds
+emitted by :func:`instrument_network`, by layer:
+
+========  ==============  ====================================================
+layer     kind            fields
+========  ==============  ====================================================
+phy       ``rx``          ``src, snr (dB), lqi, white (0/1)`` — every decoded
+                          non-ack frame at this node
+link      ``tx``          ``dest, ack (0/1), backoffs`` — unicast attempts
+link      ``cca-fail``    ``dest, backoffs`` — CSMA gave up, frame never sent
+est       ``est-insert``  ``neighbor, mode (free|evict-worst|compare)``
+est       ``est-reject``  ``neighbor, reason (no-white|no-compare|all-pinned)``
+est       ``pin``/``unpin``  ``neighbor`` — the network layer's pin bit
+net       ``parent-change``  ``old, new`` (node ids; -1 = none)
+net       ``drop``        ``origin, seq, reason (retries|queue-full)``
+net       ``deliver``     ``origin is the record node; seq, hops`` (at roots)
+net       ``etx``         ``neighbor, est, path, true`` — periodic parent-link
+                          estimate vs ground truth (``etx_sample_s`` only)
+app       ``boot``        (none)
+(end)     ``stats``       ``layer`` plus every counter of that layer's stats
+                          dataclass, one record per node per layer at run end
+========  ==============  ====================================================
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Union
+
+#: JSON keys reserved for the record envelope; field names must avoid them.
+RESERVED_KEYS = ("t", "kind", "node")
+
+#: ``node`` value for network-scoped records (medium/engine stats).
+NETWORK_NODE = -1
 
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One traced event."""
+    """One traced event: reserved envelope plus typed key/value fields."""
 
     time: float
     kind: str
     node: int
-    detail: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def detail(self) -> str:
+        """Legacy flat rendering of the fields (``k=v`` pairs)."""
+        if set(self.fields) == {"detail"}:
+            return str(self.fields["detail"])
+        return " ".join(f"{k}={v}" for k, v in self.fields.items())
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"t": self.time, "kind": self.kind, "node": self.node}
+        out.update(self.fields)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceRecord":
+        fields = {k: v for k, v in data.items() if k not in RESERVED_KEYS}
+        return cls(
+            time=float(data["t"]), kind=str(data["kind"]), node=int(data["node"]),
+            fields=fields,
+        )
+
+
+class JsonlSink:
+    """Streaming JSONL writer with size-based rotation.
+
+    Keeps memory bounded regardless of trace volume: each record goes to
+    disk immediately.  When ``max_bytes`` is set the file rotates through
+    ``path.1 … path.<max_files>`` (highest suffix oldest), so a runaway
+    trace occupies at most ``max_bytes × (max_files + 1)`` on disk.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_bytes: Optional[int] = None,
+        max_files: int = 3,
+    ) -> None:
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_files = max(1, max_files)
+        self.written = 0
+        self.rotations = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w")
+        self._bytes = 0
+
+    def write(self, record: TraceRecord) -> None:
+        self.write_line(record.to_dict())
+
+    def write_line(self, payload: Dict[str, Any]) -> None:
+        line = json.dumps(payload, separators=(",", ":"), default=str) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._bytes
+            and self._bytes + len(line) > self.max_bytes
+        ):
+            self._rotate()
+        self._fh.write(line)
+        self._bytes += len(line)
+        self.written += 1
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        oldest = self.path.with_name(f"{self.path.name}.{self.max_files}")
+        if oldest.exists():
+            oldest.unlink()
+        for i in range(self.max_files - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{i}")
+            if src.exists():
+                os.replace(src, self.path.with_name(f"{self.path.name}.{i + 1}"))
+        os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        self._fh = open(self.path, "w")
+        self._bytes = 0
+        self.rotations += 1
+
+    def close(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        if self._fh.closed:
+            return
+        if meta is not None:
+            self.write_line(meta)
+            self.written -= 1  # meta lines aren't records
+        self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class Tracer:
-    """Bounded in-memory event log with filtering."""
+    """Bounded in-memory event log with filtering and JSONL export.
 
-    def __init__(self, max_records: int = 100_000, kinds: Optional[Set[str]] = None) -> None:
+    ``keep`` selects what the memory bound protects: ``"head"`` keeps the
+    *first* ``max_records`` events (the historical behaviour — good for
+    boot/convergence analysis), ``"tail"`` keeps the *last* ``max_records``
+    as a ring buffer (good for debugging — the interesting events are
+    usually the most recent ones).  ``max_records=None`` is unbounded;
+    ``max_records=0`` with a ``sink`` streams to disk keeping nothing in
+    memory.
+
+    Drop accounting is split so summaries stay trustworthy: ``dropped``
+    counts only records lost to the capacity bound; ``filtered`` counts
+    records excluded by the ``kinds`` whitelist (deliberate, not lost).
+    """
+
+    def __init__(
+        self,
+        max_records: Optional[int] = 100_000,
+        kinds: Optional[Set[str]] = None,
+        keep: str = "head",
+        sink: Optional[JsonlSink] = None,
+    ) -> None:
+        if keep not in ("head", "tail"):
+            raise ValueError(f"keep must be 'head' or 'tail', not {keep!r}")
         self.max_records = max_records
         self.kinds = kinds
-        self.records: List[TraceRecord] = []
+        self.keep = keep
+        self.sink = sink
+        if keep == "tail" and max_records:
+            self.records: Union[List[TraceRecord], deque] = deque(maxlen=max_records)
+        else:
+            self.records = []
+        #: Records lost to the capacity bound (head mode: rejected at the
+        #: end; tail mode: overwritten at the front).
         self.dropped = 0
+        #: Records excluded by the ``kinds`` whitelist (not lost — excluded).
+        self.filtered = 0
 
-    def emit(self, time: float, kind: str, node: int, detail: str = "") -> None:
+    def emit(self, time: float, kind: str, node: int, detail: str = "", **fields: Any) -> None:
+        """Record one event.  ``fields`` are typed key/values; the legacy
+        ``detail`` string (if given) is stored as a ``detail`` field."""
         if self.kinds is not None and kind not in self.kinds:
+            self.filtered += 1
             return
-        if len(self.records) >= self.max_records:
-            self.dropped += 1
+        if detail:
+            fields = dict(fields, detail=detail)
+        for key in RESERVED_KEYS:
+            if key in fields:
+                raise ValueError(f"field name {key!r} is reserved")
+        record = TraceRecord(time, kind, node, fields)
+        if self.sink is not None:
+            self.sink.write(record)
+        if self.max_records == 0:
             return
-        self.records.append(TraceRecord(time, kind, node, detail))
+        if isinstance(self.records, deque):
+            if self.max_records and len(self.records) >= self.max_records:
+                self.dropped += 1
+            self.records.append(record)
+        else:
+            if self.max_records is not None and len(self.records) >= self.max_records:
+                self.dropped += 1
+                return
+            self.records.append(record)
 
+    # ------------------------------------------------------------------
+    # Queries
     # ------------------------------------------------------------------
     def filter(
         self,
@@ -72,24 +257,99 @@ class Tracer:
         lines = [f"{r.time:10.3f}s  node {r.node:<4} {r.kind:<14} {r.detail}" for r in rows]
         if self.dropped:
             lines.append(f"... ({self.dropped} records dropped at capacity)")
+        if self.filtered:
+            lines.append(f"... ({self.filtered} records excluded by kind filter)")
         return "\n".join(lines) if lines else "(no records)"
 
+    # ------------------------------------------------------------------
+    # JSONL round trip
+    # ------------------------------------------------------------------
+    def _meta(self) -> Dict[str, Any]:
+        return {
+            "kind": "_meta",
+            "records": len(self.records),
+            "dropped": self.dropped,
+            "filtered": self.filtered,
+            "keep": self.keep,
+        }
 
-def instrument_network(network, kinds: Optional[Set[str]] = None, max_records: int = 100_000) -> Tracer:
-    """Attach a :class:`Tracer` to every node of a built network.
+    def to_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the in-memory records (plus a ``_meta`` footer) to ``path``.
+        Returns the number of records written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        n = 0
+        with open(path, "w") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record.to_dict(), separators=(",", ":"), default=str) + "\n")
+                n += 1
+            fh.write(json.dumps(self._meta(), separators=(",", ":")) + "\n")
+        return n
 
-    Traced kinds: ``parent-change``, ``tx`` (unicast attempts, with the ack
-    bit), ``deliver`` (at roots), ``drop`` (retries exhausted / queue full,
-    sampled from stats deltas at parent changes), ``boot``.
+    def close(self) -> None:
+        """Flush and close the streaming sink (writes the ``_meta`` footer)."""
+        if self.sink is not None:
+            self.sink.close(meta=self._meta())
+
+    @classmethod
+    def from_jsonl(cls, *paths: Union[str, Path]) -> "Tracer":
+        """Load a tracer back from one or more JSONL files (rotated segments
+        may be passed oldest-first).  Restores drop/filter accounting from
+        the ``_meta`` footer when present."""
+        tracer = cls(max_records=None)
+        for path in paths:
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    data = json.loads(line)
+                    kind = data.get("kind", "")
+                    if isinstance(kind, str) and kind.startswith("_"):
+                        if kind == "_meta":
+                            tracer.dropped += int(data.get("dropped", 0))
+                            tracer.filtered += int(data.get("filtered", 0))
+                        continue
+                    tracer.records.append(TraceRecord.from_dict(data))
+        return tracer
+
+
+# ---------------------------------------------------------------------------
+# Network instrumentation
+# ---------------------------------------------------------------------------
+def instrument_network(
+    network,
+    kinds: Optional[Set[str]] = None,
+    max_records: Optional[int] = 100_000,
+    keep: str = "head",
+    sink: Optional[JsonlSink] = None,
+    etx_sample_s: Optional[float] = None,
+) -> Tracer:
+    """Attach a :class:`Tracer` to every layer of a built network.
+
+    See the module docstring for the full record schema.  ``etx_sample_s``
+    additionally samples each node's parent-link ETX estimate against the
+    channel's ground truth at that period (off by default — it adds engine
+    events, though it never changes results).  All hooks are passive: they
+    consume no randomness and schedule nothing on the frame path, so a
+    traced run is bit-identical to an untraced one.
     """
-    tracer = Tracer(max_records=max_records, kinds=kinds)
+    tracer = Tracer(max_records=max_records, kinds=kinds, keep=keep, sink=sink)
     engine = network.engine
 
     for node in network.nodes.values():
         _hook_parent_changes(tracer, engine, node)
         _hook_mac(tracer, engine, node)
+        _hook_phy(tracer, engine, node)
         _hook_boot(tracer, engine, node)
+        _hook_estimator(tracer, engine, node)
+        _hook_forwarding(tracer, engine, node)
     _hook_sink(tracer, network)
+    if etx_sample_s is not None:
+        _schedule_etx_sampling(tracer, network, etx_sample_s)
+    run_end_hooks = getattr(network, "on_run_end", None)
+    if run_end_hooks is not None:
+        run_end_hooks.append(lambda net: _emit_stats_records(tracer, net))
     return tracer
 
 
@@ -109,7 +369,8 @@ def _hook_parent_changes(tracer: Tracer, engine, node) -> None:
                 engine.now,
                 "parent-change",
                 node.node_id,
-                f"{state['parent']} -> {new_parent}",
+                old=state["parent"] if state["parent"] is not None else -1,
+                new=new_parent if new_parent is not None else -1,
             )
             state["parent"] = new_parent
 
@@ -121,17 +382,52 @@ def _hook_mac(tracer: Tracer, engine, node) -> None:
     original = mac.on_send_done
 
     def wrapped(frame, result) -> None:
-        if result.sent and not frame.is_broadcast:
-            tracer.emit(
-                engine.now,
-                "tx",
-                node.node_id,
-                f"to {result.dest} ack={'1' if result.ack_bit else '0'}",
-            )
+        if not frame.is_broadcast:
+            if result.sent:
+                tracer.emit(
+                    engine.now,
+                    "tx",
+                    node.node_id,
+                    dest=result.dest,
+                    ack=1 if result.ack_bit else 0,
+                    backoffs=result.backoffs,
+                )
+            else:
+                tracer.emit(
+                    engine.now,
+                    "cca-fail",
+                    node.node_id,
+                    dest=result.dest,
+                    backoffs=result.backoffs,
+                )
         if original is not None:
             original(frame, result)
 
     mac.on_send_done = wrapped
+
+
+def _hook_phy(tracer: Tracer, engine, node) -> None:
+    """Trace every decoded frame with its PHY measurements (the layer the
+    white bit is derived from)."""
+    mac = node.mac
+    original = mac.on_frame_received
+
+    def wrapped(frame, info) -> None:
+        # Acks are link-layer bookkeeping; everything else is a reception
+        # whose SNR/LQI/white-bit measurements are worth recording.
+        if not getattr(frame, "is_ack", False):
+            tracer.emit(
+                engine.now,
+                "rx",
+                node.node_id,
+                src=frame.src,
+                snr=round(info.snr_db, 1),
+                lqi=info.lqi,
+                white=1 if info.white_bit else 0,
+            )
+        original(frame, info)
+
+    mac.on_frame_received = wrapped
 
 
 def _hook_boot(tracer: Tracer, engine, node) -> None:
@@ -139,10 +435,101 @@ def _hook_boot(tracer: Tracer, engine, node) -> None:
     original = protocol.start
 
     def wrapped() -> None:
-        tracer.emit(engine.now, "boot", node.node_id, "")
+        tracer.emit(engine.now, "boot", node.node_id)
         original()
 
     protocol.start = wrapped
+
+
+#: (stats counter name → emitted record fields) for estimator insertions.
+_INSERT_MODES = (
+    ("inserts_free", "free"),
+    ("inserts_evict_worst", "evict-worst"),
+    ("inserts_compare", "compare"),
+)
+_REJECT_REASONS = (
+    ("rejected_no_white", "no-white"),
+    ("rejected_no_compare", "no-compare"),
+    ("rejected_all_pinned", "all-pinned"),
+)
+
+
+def _hook_estimator(tracer: Tracer, engine, node) -> None:
+    """Trace the four-bit table events: insertions (and which policy
+    admitted them), rejections (and which bit blocked them), pin/unpin."""
+    est = node.estimator
+    if est is None:
+        return
+    stats = est.stats
+    original_insert = est._try_insert
+
+    def wrapped_insert(frame, info):
+        before = {name: getattr(stats, name) for name, _ in _INSERT_MODES + _REJECT_REASONS}
+        entry = original_insert(frame, info)
+        if entry is not None:
+            for name, mode in _INSERT_MODES:
+                if getattr(stats, name) != before[name]:
+                    tracer.emit(engine.now, "est-insert", node.node_id,
+                                neighbor=frame.src, mode=mode)
+                    break
+        else:
+            for name, reason in _REJECT_REASONS:
+                if getattr(stats, name) != before[name]:
+                    tracer.emit(engine.now, "est-reject", node.node_id,
+                                neighbor=frame.src, reason=reason)
+                    break
+        return entry
+
+    est._try_insert = wrapped_insert
+
+    original_pin, original_unpin = est.pin, est.unpin
+
+    def wrapped_pin(neighbor: int) -> bool:
+        ok = original_pin(neighbor)
+        if ok:
+            tracer.emit(engine.now, "pin", node.node_id, neighbor=neighbor)
+        return ok
+
+    def wrapped_unpin(neighbor: int) -> bool:
+        ok = original_unpin(neighbor)
+        if ok:
+            tracer.emit(engine.now, "unpin", node.node_id, neighbor=neighbor)
+        return ok
+
+    est.pin = wrapped_pin
+    est.unpin = wrapped_unpin
+
+
+def _hook_forwarding(tracer: Tracer, engine, node) -> None:
+    """Trace datapath drops (retries exhausted / queue full) as they happen."""
+    forwarding = getattr(node.protocol, "forwarding", None)
+    if forwarding is None:
+        return
+    stats = forwarding.stats
+    original_send_done = forwarding.on_send_done
+
+    def wrapped_send_done(frame, sent, acked) -> None:
+        before = stats.drops_retries
+        queue_head = forwarding._queue[0] if forwarding._queue else None
+        original_send_done(frame, sent, acked)
+        if stats.drops_retries != before and queue_head is not None:
+            tracer.emit(engine.now, "drop", node.node_id,
+                        origin=queue_head.origin, seq=queue_head.origin_seq,
+                        reason="retries")
+
+    forwarding.on_send_done = wrapped_send_done
+
+    original_rx = forwarding.on_data_received
+
+    def wrapped_rx(frame) -> None:
+        before = stats.drops_queue_full
+        original_rx(frame)
+        if stats.drops_queue_full != before:
+            tracer.emit(engine.now, "drop", node.node_id,
+                        origin=frame.origin, seq=frame.origin_seq,
+                        reason="queue-full")
+
+    forwarding.on_data_received = wrapped_rx
 
 
 def _hook_sink(tracer: Tracer, network) -> None:
@@ -150,7 +537,7 @@ def _hook_sink(tracer: Tracer, network) -> None:
     original = sink.on_deliver
 
     def wrapped(origin: int, seq: int, thl: int, time: float, origin_time=None) -> None:
-        tracer.emit(time, "deliver", origin, f"seq={seq} hops={thl + 1}")
+        tracer.emit(time, "deliver", origin, seq=seq, hops=thl + 1)
         original(origin, seq, thl, time, origin_time)
 
     # Rewire every root's delivery callback to the wrapper.
@@ -162,3 +549,104 @@ def _hook_sink(tracer: Tracer, network) -> None:
             protocol.forwarding.on_deliver = wrapped
         else:
             protocol.on_deliver = wrapped
+
+
+# ---------------------------------------------------------------------------
+# ETX ground truth + periodic sampling
+# ---------------------------------------------------------------------------
+def true_link_etx(network, src: int, dst: int, data_bytes: int = 44) -> float:
+    """Ground-truth acknowledged-delivery ETX of the (src → dst) link from
+    the channel's mean gains: the data frame must survive forward and the
+    L2 ack must survive the reverse direction."""
+    from repro.phy.modulation import prr_fast
+
+    channel = network.channel
+    tx, rx = network.nodes[src].radio, network.nodes[dst].radio
+    fwd_bytes = data_bytes + tx.params.phy_overhead_bytes
+    ack_bytes = tx.params.ack_mpdu_bytes + tx.params.phy_overhead_bytes
+    snr_fwd = tx.effective_tx_power_dbm + channel.mean_gain_db(src, dst) - rx.noise_floor_dbm
+    snr_rev = rx.effective_tx_power_dbm + channel.mean_gain_db(dst, src) - tx.noise_floor_dbm
+    p = prr_fast(tx.params.modulation, snr_fwd, fwd_bytes) * prr_fast(
+        rx.params.modulation, snr_rev, ack_bytes
+    )
+    if p <= 0.0:
+        return math.inf
+    return 1.0 / p
+
+
+def _schedule_etx_sampling(tracer: Tracer, network, period_s: float) -> None:
+    engine = network.engine
+
+    def sample() -> None:
+        for node in network.nodes.values():
+            if node.is_root or node.estimator is None:
+                continue
+            parent = node.parent
+            if parent is None:
+                continue
+            est = node.estimator.link_quality(parent)
+            truth = true_link_etx(network, node.node_id, parent)
+            fields: Dict[str, Any] = {
+                "neighbor": parent,
+                "est": None if math.isinf(est) else round(est, 3),
+                "true": None if math.isinf(truth) else round(truth, 3),
+            }
+            path = getattr(node.protocol, "path_etx", None)
+            if callable(path):
+                p = path()
+                fields["path"] = None if math.isinf(p) else round(p, 3)
+            tracer.emit(engine.now, "etx", node.node_id, **fields)
+        engine.schedule(period_s, sample)
+
+    engine.schedule(period_s, sample)
+
+
+# ---------------------------------------------------------------------------
+# End-of-run stats records
+# ---------------------------------------------------------------------------
+def _stats_fields(stats) -> Dict[str, Any]:
+    import dataclasses
+
+    out: Dict[str, Any] = {}
+    for f in dataclasses.fields(stats):
+        value = getattr(stats, f.name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        out[f.name] = value
+    return out
+
+
+def _emit_stats_records(tracer: Tracer, network) -> None:
+    """One ``stats`` record per node per layer, at run end.
+
+    This is what makes an exported trace self-contained: the offline CLI
+    can report exact counter totals (the four-bit events included) without
+    the live objects, and they match the in-process snapshots by
+    construction.
+    """
+    now = network.engine.now
+    for nid, node in network.nodes.items():
+        tracer.emit(now, "stats", nid, layer="link.mac", **_stats_fields(node.mac.stats))
+        if node.estimator is not None:
+            tracer.emit(now, "stats", nid, layer="est.estimator",
+                        **_stats_fields(node.estimator.stats))
+        routing = getattr(node.protocol, "routing", None)
+        if routing is not None and hasattr(routing, "stats"):
+            tracer.emit(now, "stats", nid, layer="net.routing",
+                        **_stats_fields(routing.stats))
+        forwarding = getattr(node.protocol, "forwarding", None)
+        if forwarding is not None and hasattr(forwarding, "stats"):
+            tracer.emit(now, "stats", nid, layer="net.forwarding",
+                        **_stats_fields(forwarding.stats))
+        # Monolithic stacks (MultiHopLQI) keep one stats object on the protocol.
+        proto_stats = getattr(node.protocol, "stats", None)
+        if proto_stats is not None and hasattr(proto_stats, "METRICS_PREFIX"):
+            tracer.emit(now, "stats", nid, layer=proto_stats.METRICS_PREFIX,
+                        **_stats_fields(proto_stats))
+    medium = network.medium
+    tracer.emit(now, "stats", NETWORK_NODE, layer="phy.medium",
+                transmissions=medium.transmissions, deliveries=medium.deliveries,
+                collisions=medium.collisions, white_bits_set=medium.white_bits_set)
+    engine = network.engine
+    tracer.emit(now, "stats", NETWORK_NODE, layer="sim.engine",
+                events_run=engine.events_run, pending=engine.pending)

@@ -1,0 +1,163 @@
+"""Every EstimatorStats counter is exercised by at least one scenario.
+
+Each scenario drives the estimator through the path that increments one
+(or a few) counters; the closing test merges them all and asserts no
+counter field of the dataclass stayed at zero — so a newly added counter
+without a test fails here by construction.
+"""
+
+import dataclasses
+
+from repro.core.estimator import EstimatorConfig, EstimatorStats
+
+from tests.core.helpers import StubCompare, beacon, build_estimator, unicast_attempt
+
+
+def _full_table_config(**overrides) -> EstimatorConfig:
+    defaults = dict(table_size=2, kb=2, immature_evict_expected=4)
+    defaults.update(overrides)
+    return EstimatorConfig(**defaults)
+
+
+def _mature(est, src: int, base_seq: int = 0, beacons: int = 3) -> None:
+    """Mature ``src``'s entry with consecutive well-received beacons."""
+    for i in range(beacons):
+        beacon(est, src=src, seq=base_seq + i)
+
+
+# ---------------------------------------------------------------------------
+# Scenarios (each returns the stats object it exercised)
+# ---------------------------------------------------------------------------
+def scenario_beacons_sent() -> EstimatorStats:
+    from tests.core.helpers import routed_payload
+
+    est, _, _ = build_estimator()
+    assert est.send(routed_payload(src=est.node_id))
+    assert est.stats.beacons_sent == 1
+    return est.stats
+
+
+def scenario_beacons_received_and_free_insert() -> EstimatorStats:
+    est, _, _ = build_estimator()
+    beacon(est, src=1, seq=0)
+    assert est.stats.beacons_received == 1
+    assert est.stats.inserts_free == 1
+    return est.stats
+
+
+def scenario_duplicate_beacons() -> EstimatorStats:
+    est, _, _ = build_estimator()
+    beacon(est, src=1, seq=0)
+    beacon(est, src=1, seq=0)  # same le_seq re-received
+    assert est.stats.duplicate_beacons == 1
+    return est.stats
+
+
+def scenario_beacon_samples() -> EstimatorStats:
+    est, _, _ = build_estimator(EstimatorConfig(kb=2))
+    beacon(est, src=1, seq=0)
+    beacon(est, src=1, seq=1)  # window of 2 expected → one PRR/ETX sample
+    assert est.stats.beacon_samples == 1
+    return est.stats
+
+
+def scenario_unicast_samples() -> EstimatorStats:
+    est, _, _ = build_estimator(EstimatorConfig(ku=3))
+    beacon(est, src=1, seq=0)
+    for _ in range(3):
+        unicast_attempt(est, dest=1, acked=True)
+    assert est.stats.unicast_samples == 1
+    return est.stats
+
+
+def scenario_rejected_no_white() -> EstimatorStats:
+    est, _, _ = build_estimator(
+        _full_table_config(use_standard_replacement=False), compare=StubCompare(True)
+    )
+    _mature(est, 1)
+    _mature(est, 2)
+    beacon(est, src=3, seq=0, white=False)
+    assert est.stats.rejected_no_white == 1
+    return est.stats
+
+
+def scenario_compare_query_and_insert() -> EstimatorStats:
+    compare = StubCompare(True)
+    est, _, _ = build_estimator(
+        _full_table_config(use_standard_replacement=False), compare=compare
+    )
+    _mature(est, 1)
+    _mature(est, 2)
+    beacon(est, src=3, seq=0, white=True)
+    assert est.stats.compare_queries == 1
+    assert est.stats.inserts_compare == 1
+    assert compare.queries == 1
+    return est.stats
+
+
+def scenario_rejected_no_compare() -> EstimatorStats:
+    est, _, _ = build_estimator(
+        _full_table_config(use_standard_replacement=False), compare=StubCompare(False)
+    )
+    _mature(est, 1)
+    _mature(est, 2)
+    beacon(est, src=3, seq=0, white=True)
+    assert est.stats.rejected_no_compare == 1
+    assert est.stats.inserts_compare == 0
+    return est.stats
+
+
+def scenario_rejected_all_pinned() -> EstimatorStats:
+    est, _, _ = build_estimator(
+        _full_table_config(use_standard_replacement=False), compare=StubCompare(True)
+    )
+    _mature(est, 1)
+    _mature(est, 2)
+    assert est.pin(1) and est.pin(2)
+    beacon(est, src=3, seq=0, white=True)
+    assert est.stats.rejected_all_pinned == 1
+    return est.stats
+
+
+def scenario_insert_evict_worst() -> EstimatorStats:
+    est, _, _ = build_estimator(_full_table_config(use_white_compare=False))
+    _mature(est, 1)
+    # Neighbor 2 matures with heavy loss: 2 receptions over 10 expected
+    # beacons → PRR 0.2 → ETX 5 > evict_etx_threshold.
+    beacon(est, src=2, seq=0)
+    beacon(est, src=2, seq=9)
+    beacon(est, src=3, seq=0, white=True)
+    assert est.stats.inserts_evict_worst == 1
+    assert 3 in est.neighbors() and 2 not in est.neighbors()
+    return est.stats
+
+
+SCENARIOS = [
+    scenario_beacons_sent,
+    scenario_beacons_received_and_free_insert,
+    scenario_duplicate_beacons,
+    scenario_beacon_samples,
+    scenario_unicast_samples,
+    scenario_rejected_no_white,
+    scenario_compare_query_and_insert,
+    scenario_rejected_no_compare,
+    scenario_rejected_all_pinned,
+    scenario_insert_evict_worst,
+]
+
+
+def test_scenarios_pass_individually():
+    for scenario in SCENARIOS:
+        scenario()
+
+
+def test_every_counter_field_is_exercised():
+    """No EstimatorStats counter may stay untested: merging every scenario's
+    stats must leave all fields > 0."""
+    totals = {f.name: 0 for f in dataclasses.fields(EstimatorStats)}
+    for scenario in SCENARIOS:
+        stats = scenario()
+        for name in totals:
+            totals[name] += getattr(stats, name)
+    untouched = sorted(name for name, total in totals.items() if total == 0)
+    assert not untouched, f"counters never incremented by any scenario: {untouched}"
