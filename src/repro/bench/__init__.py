@@ -1,0 +1,27 @@
+"""Pinned micro/macro benchmarks with JSON baselines and regression gates.
+
+``python -m repro.bench`` runs a set of named scenarios — micro (medium
+reception evaluation, channel gain queries, PRR lookups) and macro (full
+collection runs on a 25-node grid and a testbed-sized headline slice) —
+and writes one ``BENCH_<name>.json`` per scenario.  ``--compare`` checks a
+fresh run against stored baselines and fails on throughput regressions
+beyond a configurable threshold, which is what the CI smoke job enforces.
+
+Every scenario is fully pinned (topology seed, simulation seed, duration),
+so the ``check`` block of the emitted JSON doubles as a cheap determinism
+probe: two runs of the same code must produce identical counters.
+"""
+
+from repro.bench.core import BenchResult, load_result, write_result
+from repro.bench.compare import ComparisonReport, compare_results
+from repro.bench.scenarios import SCENARIOS, run_scenario
+
+__all__ = [
+    "BenchResult",
+    "ComparisonReport",
+    "SCENARIOS",
+    "compare_results",
+    "load_result",
+    "run_scenario",
+    "write_result",
+]

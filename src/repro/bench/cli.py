@@ -1,0 +1,101 @@
+"""``python -m repro.bench`` — run pinned benchmarks, compare baselines."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.compare import ComparisonReport, compare_results, render_reports
+from repro.bench.core import BenchResult, find_baseline, load_result, write_result
+from repro.bench.scenarios import MACRO, MICRO, SCENARIOS, run_scenario
+
+
+def _select(names: List[str], suite: str) -> List[str]:
+    if names:
+        unknown = [n for n in names if n not in SCENARIOS]
+        if unknown:
+            raise SystemExit(f"unknown scenario(s): {', '.join(unknown)}; "
+                             f"choose from {', '.join(sorted(SCENARIOS))}")
+        return names
+    if suite == "micro":
+        return list(MICRO)
+    if suite == "macro":
+        return list(MACRO)
+    return list(SCENARIOS)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run pinned simulator benchmarks; emit BENCH_<name>.json; "
+        "optionally gate against stored baselines.",
+    )
+    parser.add_argument("scenarios", nargs="*", help="scenario names (default: per --suite)")
+    parser.add_argument("--suite", choices=("all", "micro", "macro"), default="all",
+                        help="which scenario group to run when none are named")
+    parser.add_argument("--list", action="store_true", help="list scenarios and exit")
+    parser.add_argument("--out-dir", default="results/bench",
+                        help="directory for BENCH_<name>.json output (default: results/bench)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink durations for smoke runs (CI)")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="baseline dir (holding BENCH_<name>.json files) or single file; "
+                        "compare the fresh run against it and exit 1 on regression")
+    parser.add_argument("--compare-only", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two existing BENCH json files without running anything")
+    parser.add_argument("--threshold", type=float, default=0.3,
+                        help="relative throughput drop that counts as a regression "
+                        "(default: 0.3 = 30%%)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in sorted(SCENARIOS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<18} {doc}")
+        return 0
+
+    if args.compare_only:
+        old, new = (load_result(p) for p in args.compare_only)
+        report = compare_results(old, new, args.threshold)
+        print(render_reports([report], args.threshold))
+        return 1 if report.regressed else 0
+
+    names = _select(args.scenarios, args.suite)
+    results: List[BenchResult] = []
+    for name in names:
+        print(f"running {name} ...", file=sys.stderr, flush=True)
+        result = run_scenario(name, quick=args.quick)
+        path = write_result(result, args.out_dir)
+        print(f"  wrote {path}", file=sys.stderr)
+        results.append(result)
+
+    print("benchmark results:")
+    for result in results:
+        print(f"  {result.summary_row()}")
+        for key, value in sorted(result.latency_s.items()):
+            print(f"      latency {key}: {value * 1e6:.1f} µs/event")
+
+    if not args.compare:
+        return 0
+
+    reports: List[ComparisonReport] = []
+    missing: List[str] = []
+    for result in results:
+        base_path = find_baseline(result.name, args.compare)
+        if base_path is None:
+            missing.append(result.name)
+            continue
+        reports.append(compare_results(load_result(base_path), result, args.threshold))
+    if missing:
+        print(f"no baseline for: {', '.join(missing)} (skipped)", file=sys.stderr)
+    if not reports:
+        print("nothing to compare", file=sys.stderr)
+        return 0
+    print(render_reports(reports, args.threshold))
+    return 1 if any(r.regressed for r in reports) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

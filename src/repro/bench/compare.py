@@ -1,0 +1,101 @@
+"""Baseline comparison and the regression gate for ``repro.bench``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.core import BenchResult
+
+
+@dataclass
+class MetricDelta:
+    name: str
+    old: float
+    new: float
+    #: new/old; >1 is faster for throughput metrics, slower for latencies.
+    ratio: float
+    regressed: bool
+
+    def row(self, higher_is_better: bool = True) -> str:
+        direction = self.ratio if higher_is_better else (1.0 / self.ratio if self.ratio else 0.0)
+        tag = "REGRESSED" if self.regressed else f"{direction:5.2f}x"
+        return f"    {self.name:<20} {self.old:>14,.1f} -> {self.new:>14,.1f}   {tag}"
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing one scenario run against its baseline."""
+
+    name: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+    latency_deltas: List[MetricDelta] = field(default_factory=list)
+    #: ``check`` keys whose values differ — the simulated behavior changed,
+    #: so throughput numbers are not apples-to-apples.
+    check_mismatches: List[str] = field(default_factory=list)
+    env_changed: bool = False
+
+    @property
+    def regressed(self) -> bool:
+        return any(d.regressed for d in self.deltas)
+
+    def render(self) -> str:
+        lines = [f"  {self.name}"]
+        for d in self.deltas:
+            lines.append(d.row(higher_is_better=True))
+        for d in self.latency_deltas:
+            lines.append(d.row(higher_is_better=False))
+        if self.check_mismatches:
+            lines.append(
+                "    WARNING: check counters differ "
+                f"({', '.join(self.check_mismatches)}) — simulated behavior changed"
+            )
+        if self.env_changed:
+            lines.append("    note: baseline recorded on different host/python")
+        return "\n".join(lines)
+
+
+def compare_results(
+    old: BenchResult, new: BenchResult, threshold: float = 0.3
+) -> ComparisonReport:
+    """Compare ``new`` against baseline ``old``.
+
+    Throughput metrics regress when ``new < old * (1 - threshold)``.
+    Latency percentiles are reported but never gate (shared hosts make
+    them too noisy to fail a build on).
+    """
+    if old.name != new.name:
+        raise ValueError(f"comparing different scenarios: {old.name!r} vs {new.name!r}")
+    report = ComparisonReport(name=new.name)
+    for key in sorted(old.metrics):
+        if key not in new.metrics:
+            continue
+        o, n = old.metrics[key], new.metrics[key]
+        ratio = (n / o) if o > 0 else float("inf")
+        report.deltas.append(
+            MetricDelta(key, o, n, ratio, regressed=n < o * (1.0 - threshold))
+        )
+    for key in sorted(old.latency_s):
+        if key not in new.latency_s:
+            continue
+        o, n = old.latency_s[key], new.latency_s[key]
+        ratio = (n / o) if o > 0 else float("inf")
+        report.latency_deltas.append(MetricDelta(f"latency:{key}", o, n, ratio, False))
+    for key in sorted(set(old.check) | set(new.check)):
+        if old.check.get(key) != new.check.get(key):
+            report.check_mismatches.append(key)
+    fingerprint = ("python", "machine")
+    report.env_changed = any(old.env.get(k) != new.env.get(k) for k in fingerprint)
+    return report
+
+
+def render_reports(reports: List[ComparisonReport], threshold: float) -> str:
+    header = f"benchmark comparison (regression threshold {threshold:.0%}):"
+    body = "\n".join(r.render() for r in reports)
+    regressed = [r.name for r in reports if r.regressed]
+    footer = (
+        f"FAIL: regression in {', '.join(regressed)}"
+        if regressed
+        else f"OK: no regressions across {len(reports)} scenario(s)"
+    )
+    return "\n".join([header, body, footer])

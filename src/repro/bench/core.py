@@ -1,0 +1,113 @@
+"""Benchmark result container and ``BENCH_<name>.json`` (de)serialization."""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def bench_env() -> Dict[str, str]:
+    """Host fingerprint stored with every result.
+
+    Throughput baselines are only comparable on similar hardware; the
+    fingerprint lets ``--compare`` warn when that assumption breaks.
+    """
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one benchmark scenario.
+
+    ``metrics`` holds higher-is-better throughput rates (events/sec,
+    sim-seconds per wall-second, calls/sec) — these are what the
+    regression gate compares.  ``latency_s`` holds lower-is-better
+    per-event latency percentiles (reported, not gated: percentiles on
+    shared CI hosts are too noisy to fail a build on).  ``check`` holds
+    exact counters from the pinned run (deliveries, collisions, events):
+    any difference between two results means the *simulated behavior*
+    changed and throughput numbers are not comparable.
+    """
+
+    name: str
+    kind: str  # "micro" | "macro"
+    metrics: Dict[str, float]
+    latency_s: Dict[str, float] = field(default_factory=dict)
+    check: Dict[str, object] = field(default_factory=dict)
+    wall_s: float = 0.0
+    env: Dict[str, str] = field(default_factory=bench_env)
+    timestamp: float = field(default_factory=time.time)
+    schema: int = SCHEMA_VERSION
+
+    def filename(self) -> str:
+        return f"BENCH_{self.name}.json"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "kind": self.kind,
+            "metrics": self.metrics,
+            "latency_s": self.latency_s,
+            "check": self.check,
+            "wall_s": self.wall_s,
+            "env": self.env,
+            "timestamp": self.timestamp,
+        }
+
+    def summary_row(self) -> str:
+        rates = "  ".join(f"{k}={v:,.0f}" if v >= 100 else f"{k}={v:.3g}"
+                          for k, v in sorted(self.metrics.items()))
+        return f"{self.name:<18} [{self.kind}] {self.wall_s:6.2f}s  {rates}"
+
+
+def write_result(result: BenchResult, out_dir: Union[str, Path]) -> Path:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / result.filename()
+    path.write_text(json.dumps(result.to_json_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_result(path: Union[str, Path]) -> BenchResult:
+    data = json.loads(Path(path).read_text())
+    schema = int(data.get("schema", 0))
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported bench schema {schema} (want {SCHEMA_VERSION})")
+    return BenchResult(
+        name=data["name"],
+        kind=data.get("kind", "?"),
+        metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+        latency_s={k: float(v) for k, v in data.get("latency_s", {}).items()},
+        check=data.get("check", {}),
+        wall_s=float(data.get("wall_s", 0.0)),
+        env=data.get("env", {}),
+        timestamp=float(data.get("timestamp", 0.0)),
+        schema=schema,
+    )
+
+
+def find_baseline(name: str, baseline: Union[str, Path]) -> Optional[Path]:
+    """Resolve the baseline file for scenario ``name``.
+
+    ``baseline`` may be a directory (holding ``BENCH_<name>.json`` files)
+    or a single file.
+    """
+    base = Path(baseline)
+    if base.is_dir():
+        candidate = base / f"BENCH_{name}.json"
+        return candidate if candidate.exists() else None
+    return base if base.exists() else None

@@ -1,0 +1,250 @@
+"""Pinned benchmark scenarios.
+
+Each scenario is a function ``(quick: bool) -> BenchResult``.  Everything
+that affects simulated behavior — topology seed, simulation seed,
+durations, traffic — is pinned here, so the ``check`` counters of two runs
+of the same code are identical and throughput deltas are attributable to
+the code, not the workload.  ``quick=True`` shrinks durations for CI smoke
+runs (same code paths, smaller sample).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict, List
+
+from repro.bench.core import BenchResult
+from repro.link.frame import BROADCAST, Frame
+from repro.phy.channel import ChannelModel
+from repro.phy.modulation import prr_fast
+from repro.phy.radio import Radio
+from repro.sim.engine import Engine
+from repro.sim.medium import RadioMedium
+from repro.sim.network import CollectionNetwork, SimConfig
+from repro.sim.rng import RngManager
+from repro.topology.generators import grid
+from repro.topology.testbeds import PROFILES, scaled_profile
+
+SCENARIOS: Dict[str, Callable[[bool], BenchResult]] = {}
+
+
+def scenario(fn: Callable[[bool], BenchResult]) -> Callable[[bool], BenchResult]:
+    SCENARIOS[fn.__name__] = fn
+    return fn
+
+
+def run_scenario(name: str, quick: bool = False) -> BenchResult:
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}") from None
+    return fn(quick)
+
+
+# ----------------------------------------------------------------------
+# Micro scenarios
+# ----------------------------------------------------------------------
+@scenario
+def micro_prr(quick: bool = False) -> BenchResult:
+    """PRR lookups across the SNR transition region (cache steady state)."""
+    snrs = [-8.0 + 0.035 * i for i in range(972)]  # −8 … 26 dB
+    lengths = (28, 44, 116)
+    # Warm the quantized-PRR cache so the measurement sees steady state.
+    acc = 0.0
+    for length in lengths:
+        for snr in snrs:
+            acc += prr_fast("oqpsk-dsss", snr, length)
+    iters = 300 if quick else 1200
+    calls = 0
+    t0 = perf_counter()
+    for _ in range(iters):
+        for length in lengths:
+            for snr in snrs:
+                acc += prr_fast("oqpsk-dsss", snr, length)
+                calls += 1
+    wall = perf_counter() - t0
+    return BenchResult(
+        name="micro_prr",
+        kind="micro",
+        metrics={"calls_per_s": calls / wall if wall > 0 else 0.0},
+        check={"calls": calls, "acc": round(acc, 6)},
+        wall_s=wall,
+    )
+
+
+@scenario
+def micro_channel(quick: bool = False) -> BenchResult:
+    """Instantaneous channel-gain queries with OU fading + bimodal fades."""
+    rng = RngManager(17)
+    positions = {
+        nid: (13.0 * (nid % 4) + 0.25 * nid, 11.0 * (nid // 4) + 0.125 * nid)
+        for nid in range(16)
+    }
+    channel = ChannelModel(
+        positions,
+        rng.fork("channel"),
+        shadowing_sigma_db=3.2,
+        temporal_sigma_db=1.5,
+        temporal_tau_s=60.0,
+        bimodal_fraction=0.3,
+    )
+    pairs = [(a, b) for a in positions for b in positions if a != b]
+    steps = 150 if quick else 600
+    calls = 0
+    acc = 0.0
+    t0 = perf_counter()
+    for step in range(steps):
+        t = 0.9 * step
+        for a, b in pairs:
+            acc += channel.gain_db(a, b, t)
+            calls += 1
+    wall = perf_counter() - t0
+    return BenchResult(
+        name="micro_channel",
+        kind="micro",
+        metrics={"calls_per_s": calls / wall if wall > 0 else 0.0},
+        check={"calls": calls, "acc": round(acc, 6)},
+        wall_s=wall,
+    )
+
+
+class _CountingListener:
+    """Minimal medium participant for the reception micro-benchmark."""
+
+    __slots__ = ("node_id", "radio", "received")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.radio = Radio(node_id=node_id)
+        self.received = 0
+
+    def on_frame_received(self, frame, info) -> None:
+        self.received += 1
+
+
+@scenario
+def micro_reception(quick: bool = False) -> BenchResult:
+    """Medium reception evaluation: broadcasts on a 5×5 grid, with overlap.
+
+    Every frame is evaluated against ~24 candidate receivers; every third
+    frame overlaps a second transmission so the interference/collision
+    path is exercised too.
+    """
+    engine = Engine()
+    rng = RngManager(23)
+    topo = grid(5, 5, spacing_m=6.0, rng=rng.stream("topo"), jitter_m=0.5)
+    channel = ChannelModel(
+        topo.positions,
+        rng.fork("channel"),
+        shadowing_sigma_db=3.2,
+        temporal_sigma_db=1.5,
+        bimodal_fraction=0.2,
+    )
+    medium = RadioMedium(engine, channel, rng)
+    listeners: List[_CountingListener] = []
+    for nid in topo.node_ids():
+        listener = _CountingListener(nid)
+        medium.attach(listener)
+        listeners.append(listener)
+    medium.finalize()
+
+    n = len(listeners)
+    frames = 400 if quick else 1600
+    candidates = sum(len(medium.candidate_receivers(s)) for s in range(n)) / n
+
+    def send_round(i: int) -> None:
+        sender = i % n
+        medium.start_transmission(sender, Frame(src=sender, dst=BROADCAST, length_bytes=36))
+        if i % 3 == 0:
+            other = (sender + 7) % n
+            medium.start_transmission(other, Frame(src=other, dst=BROADCAST, length_bytes=36))
+        if i + 1 < frames:
+            engine.schedule(0.004, send_round, i + 1)
+
+    engine.schedule(0.0, send_round, 0)
+    t0 = perf_counter()
+    engine.run()
+    wall = perf_counter() - t0
+    evaluations = medium.transmissions * candidates
+    return BenchResult(
+        name="micro_reception",
+        kind="micro",
+        metrics={
+            "receptions_per_s": evaluations / wall if wall > 0 else 0.0,
+            "frames_per_s": medium.transmissions / wall if wall > 0 else 0.0,
+        },
+        check={
+            "transmissions": medium.transmissions,
+            "deliveries": medium.deliveries,
+            "collisions": medium.collisions,
+            "white_bits_set": medium.white_bits_set,
+        },
+        wall_s=wall,
+    )
+
+
+# ----------------------------------------------------------------------
+# Macro scenarios
+# ----------------------------------------------------------------------
+def _macro_result(name: str, net: CollectionNetwork, duration_s: float) -> BenchResult:
+    t0 = perf_counter()
+    result = net.run()
+    wall = perf_counter() - t0
+    profiler = net.engine.profiler
+    latency = profiler.latency_percentiles() if profiler is not None else {}
+    return BenchResult(
+        name=name,
+        kind="macro",
+        metrics={
+            "events_per_s": result.events_run / wall if wall > 0 else 0.0,
+            "sim_s_per_wall_s": duration_s / wall if wall > 0 else 0.0,
+        },
+        latency_s=latency,
+        check={
+            "events": result.events_run,
+            "offered": result.offered,
+            "unique_delivered": result.unique_delivered,
+            "total_data_tx": result.total_data_tx,
+            "beacons_sent": result.beacons_sent,
+            "medium_deliveries": net.medium.deliveries,
+            "medium_collisions": net.medium.collisions,
+        },
+        wall_s=wall,
+    )
+
+
+@scenario
+def macro_grid25(quick: bool = False) -> BenchResult:
+    """Full 4B collection run on a 25-node grid (the headline hot path)."""
+    duration = 150.0 if quick else 600.0
+    topo = grid(5, 5, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=0.5)
+    config = SimConfig(
+        protocol="4b",
+        seed=3,
+        duration_s=duration,
+        warmup_s=60.0,
+        profile_events=True,
+    )
+    net = CollectionNetwork(topo, config)
+    return _macro_result("macro_grid25", net, duration)
+
+
+@scenario
+def macro_testbed(quick: bool = False) -> BenchResult:
+    """Testbed-sized headline slice: scaled Mirage profile, interferers on."""
+    duration = 120.0 if quick else 240.0
+    profile = scaled_profile(PROFILES["mirage"], 35)
+    topo = profile.topology(11)
+    config = SimConfig(
+        protocol="4b",
+        seed=2,
+        duration_s=duration,
+        warmup_s=60.0,
+        profile_events=True,
+    )
+    net = CollectionNetwork(topo, config, profile=profile)
+    return _macro_result("macro_testbed", net, duration)
+
+
+MICRO = tuple(n for n, fn in SCENARIOS.items() if n.startswith("micro_"))
+MACRO = tuple(n for n, fn in SCENARIOS.items() if n.startswith("macro_"))

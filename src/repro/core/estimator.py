@@ -36,6 +36,7 @@ from repro.link.frame import FooterEntry, LinkEstimatorFrame, NetworkFrame, le_w
 from repro.link.mac import Mac
 from repro.sim.packets import RxInfo, TxResult
 
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -167,11 +168,27 @@ class HybridLinkEstimator(LinkEstimator):
     # LinkEstimator interface
     # ------------------------------------------------------------------
     def link_quality(self, neighbor: int) -> float:
-        entry = self.table.find(neighbor)
-        return entry.etx if entry is not None else float("inf")
+        entry = self.table._entries.get(neighbor)
+        if entry is None:
+            return _INF
+        ewma = entry.etx_ewma
+        if ewma is None or not ewma._initialized:
+            return _INF
+        return ewma._value
 
     def neighbors(self) -> List[int]:
         return self.table.addresses()
+
+    def neighbor_qualities(self) -> List[tuple]:
+        """Single-pass ``(address, ETX)`` view (hot: every parent update)."""
+        out = []
+        for addr, entry in self.table._entries.items():
+            ewma = entry.etx_ewma
+            if ewma is None or not ewma._initialized:
+                out.append((addr, _INF))
+            else:
+                out.append((addr, ewma._value))
+        return out
 
     def table_snapshot(self) -> List[Dict[str, object]]:
         """Debug/inspection view of the table (sorted by address).
@@ -390,24 +407,33 @@ class HybridLinkEstimator(LinkEstimator):
         age out (``immature_evict_expected``); evicting them on every
         newcomer would thrash the table before anything matures.
         """
-        bad = [
-            e
-            for e in self.table
-            if not e.pinned and e.mature and e.etx > self.config.evict_etx_threshold
-        ]
-        if bad:
-            victim = max(bad, key=lambda e: (e.etx, e.addr))
-        else:
-            stale = [
-                e
-                for e in self.table
-                if not e.pinned
-                and not e.mature
-                and e.expected_since_insert >= self.config.immature_evict_expected
-            ]
-            if not stale:
-                return None
-            victim = max(stale, key=lambda e: (e.expected_since_insert, e.addr))
+        # One pass over the table computing both victim candidates (this
+        # runs for every beacon from an unknown neighbor once the table is
+        # full).  ``>`` keeps the first of equal keys, matching
+        # ``max(..., key=...)``.
+        threshold = self.config.evict_etx_threshold
+        stale_expected = self.config.immature_evict_expected
+        worst_bad = None
+        worst_bad_key = None
+        worst_stale = None
+        worst_stale_key = None
+        for e in self.table:
+            if e.pinned:
+                continue
+            ewma = e.etx_ewma
+            if ewma is not None and ewma._initialized:
+                etx = ewma._value
+                if etx > threshold:
+                    key = (etx, e.addr)
+                    if worst_bad_key is None or key > worst_bad_key:
+                        worst_bad, worst_bad_key = e, key
+            elif e.expected_since_insert >= stale_expected:
+                key = (e.expected_since_insert, e.addr)
+                if worst_stale_key is None or key > worst_stale_key:
+                    worst_stale, worst_stale_key = e, key
+        victim = worst_bad if worst_bad is not None else worst_stale
+        if victim is None:
+            return None
         self.table.remove(victim.addr)
         self.table.evictions += 1
         self.stats.inserts_evict_worst += 1

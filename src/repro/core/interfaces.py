@@ -56,6 +56,17 @@ class LinkEstimator(abc.ABC):
     def neighbors(self) -> Iterable[int]:
         """Addresses currently in the link table."""
 
+    def neighbor_qualities(self) -> "list[tuple[int, float]]":
+        """``(address, link ETX)`` for every table entry.
+
+        Equivalent to querying :meth:`link_quality` for each address in
+        :meth:`neighbors`; implementations sitting on the routing hot path
+        override this with a single-pass version.  The order matches
+        :meth:`neighbors`.
+        """
+        link_quality = self.link_quality
+        return [(neighbor, link_quality(neighbor)) for neighbor in self.neighbors()]
+
     # -- pin bit --------------------------------------------------------
     @abc.abstractmethod
     def pin(self, neighbor: int) -> bool:

@@ -48,15 +48,20 @@ class NeighborEntry:
     @property
     def mature(self) -> bool:
         """True once at least one ETX sample has been folded in."""
-        return self.etx_ewma is not None and self.etx_ewma.initialized
+        ewma = self.etx_ewma
+        return ewma is not None and ewma._initialized
 
     @property
     def etx(self) -> float:
-        """Current hybrid ETX, or +inf before the first sample."""
-        if not self.mature:
+        """Current hybrid ETX, or +inf before the first sample.
+
+        Reads the EWMA slots directly: this property runs once per routing
+        candidate per beacon, and the nested property calls dominate it.
+        """
+        ewma = self.etx_ewma
+        if ewma is None or not ewma._initialized:
             return math.inf
-        assert self.etx_ewma is not None
-        return self.etx_ewma.value
+        return ewma._value
 
 
 class NeighborTable:

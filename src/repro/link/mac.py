@@ -150,15 +150,26 @@ class Mac:
     # Receive path (called by the medium)
     # ------------------------------------------------------------------
     def on_frame_received(self, frame: Frame, info: RxInfo) -> None:
+        # Ordered for the common case: most deliveries are overheard frames
+        # addressed to someone else (the medium delivers to every receiver
+        # that decodes), dropped on the first comparison.  An ack for
+        # another node falls into the same early return — ``_handle_ack``
+        # would discard it without side effects anyway.
         if not self.enabled:
             return
-        if isinstance(frame, AckFrame):
+        dst = frame.dst
+        if dst == self.node_id:
+            if isinstance(frame, AckFrame):
+                self._handle_ack(frame)
+                return
+            self._send_ack(frame)
+        elif dst != BROADCAST:
+            return  # not for us (promiscuous mode unsupported)
+        elif isinstance(frame, AckFrame):
+            # Broadcast acks do not occur, but preserve the old behavior
+            # (handled as an ack, never delivered up).
             self._handle_ack(frame)
             return
-        if frame.dst not in (self.node_id, BROADCAST):
-            return  # not for us (promiscuous mode unsupported)
-        if frame.dst == self.node_id:
-            self._send_ack(frame)
         self.stats.frames_delivered_up += 1
         if self.on_receive is not None:
             self.on_receive(frame, info)

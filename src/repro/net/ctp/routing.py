@@ -136,13 +136,34 @@ class CtpRoutingEngine(CompareBitProvider):
         return link + info.path_etx
 
     def update_route(self) -> None:
-        """Re-evaluate the parent (hysteresis applies)."""
+        """Re-evaluate the parent (hysteresis applies).
+
+        The loop is :meth:`_route_through` inlined over the estimator's
+        single-pass ``(neighbor, link ETX)`` view: it runs for every beacon
+        heard, and the per-neighbor attribute and table lookups dominate
+        it.  The skip conditions are exactly the inf-cost cases of
+        :meth:`_route_through` (an inf cost can never win ``cost <
+        best_cost``).
+        """
         if self.is_root:
             return
+        inf = math.inf
+        isinf = math.isinf
+        route_info_get = self.route_info.get
+        max_link_etx = self.config.max_link_etx
+        node_id = self.node_id
         best: Optional[int] = None
-        best_cost = math.inf
-        for neighbor in self.estimator.neighbors():
-            cost = self._route_through(neighbor)
+        best_cost = inf
+        for neighbor, link in self.estimator.neighbor_qualities():
+            if link > max_link_etx:
+                continue
+            info = route_info_get(neighbor)
+            if info is None:
+                continue
+            path_etx = info.path_etx
+            if isinf(path_etx) or info.parent == node_id:
+                continue
+            cost = link + path_etx
             if cost < best_cost:
                 best, best_cost = neighbor, cost
         current_cost = self._route_through(self.parent) if self.parent is not None else math.inf
@@ -196,11 +217,17 @@ class CtpRoutingEngine(CompareBitProvider):
     def on_beacon_received(self, frame: CtpRoutingFrame, info: RxInfo, le_src: int) -> None:
         """Process a neighbor's routing beacon (via the estimator client)."""
         self.stats.beacons_heard += 1
-        self.route_info[le_src] = RouteInfo(
-            parent=frame.parent,
-            path_etx=frame.path_etx,
-            heard_at=self.engine.now,
-        )
+        info_rec = self.route_info.get(le_src)
+        if info_rec is None:
+            self.route_info[le_src] = RouteInfo(
+                parent=frame.parent,
+                path_etx=frame.path_etx,
+                heard_at=self.engine.now,
+            )
+        else:  # overwrite in place (one allocation per neighbor, not per beacon)
+            info_rec.parent = frame.parent
+            info_rec.path_etx = frame.path_etx
+            info_rec.heard_at = self.engine.now
         if frame.pull and (self.is_root or self.parent is not None):
             self.trickle.reset()
         self.update_route()

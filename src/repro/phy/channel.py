@@ -11,13 +11,23 @@ channel (people moving, multipath drift).  Asymmetry between the two
 directions of a link comes from per-node hardware variation (transmit
 power and noise-floor offsets, see :mod:`repro.phy.radio`), matching the
 measurement literature the paper cites.
+
+This module sits on the simulator's hottest path (one gain query per
+candidate reception and per overlapping interferer), so per-pair state is
+organized for cheap repeated queries: the time-invariant gain is cached
+per pair, each OU / Gilbert state object carries its own pre-bound RNG
+stream, and the OU decay factors ``exp(-dt/tau)`` are memoized for
+repeating ``dt`` values.  All caches hold values that are pure functions
+of their keys, so they cannot change simulated results — the determinism
+contract in DESIGN.md relies on this.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from random import Random
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.sim.rng import RngManager
 
@@ -25,6 +35,12 @@ Position = Tuple[float, float]
 
 #: Sentinel distinguishing "not yet decided" from "decided: not bimodal".
 _MISSING = object()
+
+#: Bound on the value-cache sizes below; keys are floats produced by the
+#: simulation, so without a bound an adversarial schedule could grow the
+#: caches indefinitely.  Entries past the bound are computed but not
+#: stored — results are identical either way.
+_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -41,23 +57,32 @@ class PathLossModel:
 
 
 class _OUState:
-    """Lazy Ornstein–Uhlenbeck sample: advanced only when queried."""
+    """Lazy Ornstein–Uhlenbeck sample: advanced only when queried.
 
-    __slots__ = ("t", "x")
+    Carries its own pre-bound update stream so the per-query tuple-keyed
+    ``RngManager.stream`` lookup disappears from the hot path.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("t", "x", "stream")
+
+    def __init__(self, stream: Random) -> None:
         self.t = 0.0
         self.x = 0.0
+        self.stream = stream
 
 
 class _GilbertState:
-    """Lazy two-state (good / deep-fade) process, advanced only when queried."""
+    """Lazy two-state (good / deep-fade) process, advanced only when queried.
 
-    __slots__ = ("t", "faded")
+    Like :class:`_OUState`, carries its pre-bound dwell stream.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("t", "faded", "stream")
+
+    def __init__(self, stream: Random) -> None:
         self.t = 0.0
         self.faded = False
+        self.stream = stream
 
 
 class ChannelModel:
@@ -98,6 +123,14 @@ class ChannelModel:
         self._shadowing: Dict[Tuple[int, int], float] = {}
         self._ou: Dict[Tuple[int, int], _OUState] = {}
         self._gilbert: Dict[Tuple[int, int], Optional[_GilbertState]] = {}
+        #: Cached time-invariant gain (path loss + shadowing) per pair.
+        self._mean_gain: Dict[Tuple[int, int], float] = {}
+        #: dt → (exp(−dt/τ), innovation sigma); both are pure functions of
+        #: dt, so memoizing them is result-neutral.
+        self._decay: Dict[float, Tuple[float, float]] = {}
+        #: Queries closer together than this see a frozen OU channel
+        #: (acks, back-to-back receptions): below 1% of tau.
+        self._ou_freeze_s = 0.01 * temporal_tau_s
 
     # ------------------------------------------------------------------
     def add_position(self, node_id: int, pos: Position) -> None:
@@ -121,40 +154,48 @@ class ChannelModel:
             self._shadowing[key] = stream.gauss(0.0, self.shadowing_sigma_db)
         return self._shadowing[key]
 
-    def temporal_db(self, a: int, b: int, t: float) -> float:
-        """Time-varying gain component (OU process), advanced lazily to ``t``."""
-        if self.temporal_sigma_db <= 0.0:
-            return 0.0
-        key = self._pair(a, b)
+    def _temporal_for(self, key: Tuple[int, int], t: float) -> float:
+        """OU component for an ordered pair ``key``, advanced lazily to ``t``."""
         state = self._ou.get(key)
         if state is None:
-            state = _OUState()
-            stream = self._rng.stream("ou-init", key[0], key[1])
-            state.x = stream.gauss(0.0, self.temporal_sigma_db)
+            a, b = key
+            init_stream = self._rng.stream("ou-init", a, b)
+            state = _OUState(self._rng.stream("ou", a, b))
+            state.x = init_stream.gauss(0.0, self.temporal_sigma_db)
             state.t = t
             self._ou[key] = state
             return state.x
         dt = t - state.t
         # Sub-millisecond-scale queries (acks, back-to-back receptions) see
         # an effectively frozen channel; skip the update below 1% of tau.
-        if dt > 0.01 * self.temporal_tau_s:
-            decay = math.exp(-dt / self.temporal_tau_s)
-            innovation_sigma = self.temporal_sigma_db * math.sqrt(max(0.0, 1.0 - decay * decay))
-            stream = self._rng.stream("ou", key[0], key[1])
-            state.x = state.x * decay + stream.gauss(0.0, innovation_sigma)
+        if dt > self._ou_freeze_s:
+            cached = self._decay.get(dt)
+            if cached is None:
+                decay = math.exp(-dt / self.temporal_tau_s)
+                innovation_sigma = self.temporal_sigma_db * math.sqrt(
+                    max(0.0, 1.0 - decay * decay)
+                )
+                cached = (decay, innovation_sigma)
+                if len(self._decay) < _CACHE_MAX:
+                    self._decay[dt] = cached
+            state.x = state.x * cached[0] + state.stream.gauss(0.0, cached[1])
             state.t = t
         return state.x
 
-    def _fade_db(self, a: int, b: int, t: float) -> float:
-        """Deep-fade contribution of a bimodal pair (0 for normal pairs)."""
-        if self.bimodal_fraction <= 0.0:
+    def temporal_db(self, a: int, b: int, t: float) -> float:
+        """Time-varying gain component (OU process), advanced lazily to ``t``."""
+        if self.temporal_sigma_db <= 0.0:
             return 0.0
-        key = self._pair(a, b)
+        return self._temporal_for(self._pair(a, b), t)
+
+    def _fade_for(self, key: Tuple[int, int], t: float) -> float:
+        """Deep-fade component for an ordered pair ``key`` (0 for normal pairs)."""
         state = self._gilbert.get(key, _MISSING)
         if state is _MISSING:
-            stream = self._rng.stream("bimodal", key[0], key[1])
+            a, b = key
+            stream = self._rng.stream("bimodal", a, b)
             if stream.random() < self.bimodal_fraction:
-                state = _GilbertState()
+                state = _GilbertState(self._rng.stream("bimodal-dwell", a, b))
                 state.t = t
                 # Start in the good state with the stationary probability.
                 p_good = self.good_dwell_s / (self.good_dwell_s + self.fade_dwell_s)
@@ -165,24 +206,49 @@ class ChannelModel:
         if state is None:
             return 0.0
         # Lazily replay exponential state flips from the last query to t.
-        stream = self._rng.stream("bimodal-dwell", key[0], key[1])
+        stream = state.stream
+        state_t = state.t
+        faded = state.faded
+        fade_dwell = self.fade_dwell_s
+        good_dwell = self.good_dwell_s
         while True:
-            dwell_mean = self.fade_dwell_s if state.faded else self.good_dwell_s
+            dwell_mean = fade_dwell if faded else good_dwell
             dwell = stream.expovariate(1.0 / dwell_mean)
-            if state.t + dwell > t:
+            if state_t + dwell > t:
                 break
-            state.t += dwell
-            state.faded = not state.faded
-        return -self.fade_depth_db if state.faded else 0.0
+            state_t += dwell
+            faded = not faded
+        state.t = state_t
+        state.faded = faded
+        return -self.fade_depth_db if faded else 0.0
+
+    def _fade_db(self, a: int, b: int, t: float) -> float:
+        """Deep-fade contribution of a bimodal pair (0 for normal pairs)."""
+        if self.bimodal_fraction <= 0.0:
+            return 0.0
+        return self._fade_for(self._pair(a, b), t)
 
     # ------------------------------------------------------------------
+    def _mean_for(self, key: Tuple[int, int], a: int, b: int) -> float:
+        mean = self._mean_gain.get(key)
+        if mean is None:
+            mean = -self.pathloss.loss_db(self.distance(a, b)) + self._static_shadowing_db(a, b)
+            self._mean_gain[key] = mean
+        return mean
+
     def mean_gain_db(self, a: int, b: int) -> float:
         """Time-invariant part of the gain (path loss + static shadowing)."""
-        return -self.pathloss.loss_db(self.distance(a, b)) + self._static_shadowing_db(a, b)
+        return self._mean_for(self._pair(a, b), a, b)
 
     def gain_db(self, a: int, b: int, t: float) -> float:
         """Instantaneous channel gain (symmetric) at simulated time ``t``."""
-        return self.mean_gain_db(a, b) + self.temporal_db(a, b, t) + self._fade_db(a, b, t)
+        key = (a, b) if a <= b else (b, a)
+        gain = self._mean_for(key, a, b)
+        if self.temporal_sigma_db > 0.0:
+            gain += self._temporal_for(key, t)
+        if self.bimodal_fraction > 0.0:
+            gain += self._fade_for(key, t)
+        return gain
 
     def instantaneous_extra_db(self, a: int, b: int, t: float) -> float:
         """All time-varying gain components (OU fading + bimodal deep fades).
@@ -190,4 +256,11 @@ class ChannelModel:
         The medium adds this to a cached mean gain, avoiding recomputing
         path loss and shadowing on every reception.
         """
-        return self.temporal_db(a, b, t) + self._fade_db(a, b, t)
+        key = (a, b) if a <= b else (b, a)
+        if self.temporal_sigma_db > 0.0:
+            extra = self._temporal_for(key, t)
+        else:
+            extra = 0.0
+        if self.bimodal_fraction > 0.0:
+            extra += self._fade_for(key, t)
+        return extra

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 LQI_MAX = 110
 #: Lowest LQI at which a packet is still plausibly decodable.
 LQI_MIN = 40
+_LQI_SPAN = LQI_MAX - LQI_MIN
 
 
 @dataclass(frozen=True)
@@ -34,12 +35,21 @@ class LqiModel:
 
     def mean_lqi(self, snr_db: float) -> float:
         """Noise-free LQI for a given per-packet SNR."""
-        span = LQI_MAX - LQI_MIN
-        return LQI_MIN + span / (1.0 + math.exp(-(snr_db - self.midpoint_snr_db) / self.slope_db))
+        return LQI_MIN + _LQI_SPAN / (
+            1.0 + math.exp(-(snr_db - self.midpoint_snr_db) / self.slope_db)
+        )
 
     def sample(self, snr_db: float, rng: random.Random) -> int:
-        """One noisy LQI measurement, clamped to the hardware range."""
-        value = self.mean_lqi(snr_db) + rng.gauss(0.0, self.noise_sigma)
+        """One noisy LQI measurement, clamped to the hardware range.
+
+        Runs once per delivered frame; the logistic is inlined rather than
+        calling :meth:`mean_lqi` (same expression, same float result).
+        """
+        value = (
+            LQI_MIN
+            + _LQI_SPAN / (1.0 + math.exp(-(snr_db - self.midpoint_snr_db) / self.slope_db))
+            + rng.gauss(0.0, self.noise_sigma)
+        )
         return int(round(min(max(value, LQI_MIN), LQI_MAX)))
 
 

@@ -19,14 +19,25 @@ from functools import lru_cache
 # C(16, k) for k = 2..16, precomputed.
 _BINOM_16 = [math.comb(16, k) for k in range(17)]
 
+#: Per-term constants of the alternating sum below: the sign-folded
+#: binomial coefficient ``(−1)^k·C(16,k)`` and the exponent factor
+#: ``1/k − 1``.  Folding the sign into the coefficient and hoisting
+#: ``20·γ`` out of the loop leaves the floating-point result bit-identical:
+#: ``(−c)·x == −(c·x)`` exactly, and ``20·γ·(1/k − 1)`` already associates
+#: as ``(20·γ)·(1/k − 1)``.
+_OQPSK_TERMS = [
+    ((1.0 if k % 2 == 0 else -1.0) * _BINOM_16[k], 1.0 / k - 1.0) for k in range(2, 17)
+]
+
 
 def oqpsk_dsss_ber(snr_db: float) -> float:
     """Bit error rate of O-QPSK with DSSS (CC2420-class) at ``snr_db``."""
     gamma = 10.0 ** (snr_db / 10.0)
+    g20 = 20.0 * gamma
+    exp = math.exp
     acc = 0.0
-    for k in range(2, 17):
-        term = _BINOM_16[k] * math.exp(20.0 * gamma * (1.0 / k - 1.0))
-        acc += term if k % 2 == 0 else -term
+    for coef, factor in _OQPSK_TERMS:
+        acc += coef * exp(g20 * factor)
     ber = (8.0 / 15.0) * (1.0 / 16.0) * acc
     # Numerical guard: the alternating sum can underflow to tiny negatives.
     return min(max(ber, 0.0), 1.0)

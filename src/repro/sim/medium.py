@@ -10,6 +10,17 @@ candidate receiver, whether the frame was decodable given
 
 Packets that decode are delivered upward with an :class:`~repro.sim.packets.RxInfo`
 carrying the measured SINR, a sampled LQI and the derived white bit.
+
+This is the simulator's hottest code: one reception evaluation per
+candidate receiver per transmission.  :meth:`RadioMedium.finalize`
+therefore precomputes a per-sender row of everything the evaluation loop
+needs per receiver (mean gain, noise floor in mW and dB, modulation, the
+pre-bound reception RNG stream and delivery callback), transmissions are
+indexed by sender for the half-duplex check, and dBm→mW conversions go
+through a bounded value cache.  None of the caches can change results:
+they store pure functions of their inputs, and the evaluation order and
+floating-point association of the original code are preserved exactly
+(the golden test in ``tests/golden/`` enforces this).
 """
 
 from __future__ import annotations
@@ -18,11 +29,12 @@ import math
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.link.frame import AckFrame, Frame, JamFrame
+from repro.phy.channel import _CACHE_MAX as _CHANNEL_CACHE_MAX
 from repro.phy.channel import ChannelModel
-from repro.phy.lqi import DEFAULT_LQI_MODEL, LqiModel
-from repro.phy.modulation import prr_fast
+from repro.phy.lqi import DEFAULT_LQI_MODEL, LQI_MAX, LQI_MIN, LqiModel, _LQI_SPAN
+from repro.phy.modulation import _prr_quantized
 from repro.phy.radio import Radio, RadioParams
-from repro.phy.white_bit import DEFAULT_WHITE_BIT, WhiteBitPolicy
+from repro.phy.white_bit import DEFAULT_WHITE_BIT, LqiWhiteBit, WhiteBitPolicy
 from repro.sim.engine import Engine
 from repro.sim.packets import RxInfo
 from repro.sim.rng import RngManager
@@ -32,16 +44,37 @@ from repro.sim.rng import RngManager
 #: is indistinguishable from zero for any frame length.
 _NEIGHBOR_SNR_CUTOFF_DB = -15.0
 
+#: Finished transmissions older than this can no longer overlap anything
+#: (far above the longest frame airtime).
+_RECENT_HORIZON_S = 0.25
+
+#: Prune the finished-transmission list only past this length; below it the
+#: scan costs more than the dead entries it would reclaim.
+_RECENT_PRUNE_LEN = 64
+
+#: Sentinel for "this pair's Gilbert state has not been resolved yet"
+#: (``None`` is a valid resolution: the pair is not bimodal).
+_UNRESOLVED = object()
+
+#: Same constant the stdlib's ``random.gauss`` uses for Box–Muller.
+_TWOPI = 2.0 * math.pi
+
 #: Extra margin for the carrier-sense candidate list (CCA threshold sits far
 #: above sensitivity, so the reception list already covers it).
 _MW_PER_DBM_CACHE: Dict[float, float] = {}
+
+#: RSSI values are nearly-unique floats, so the conversion cache is bounded:
+#: past this size new keys are converted without being stored (identical
+#: result, no growth).
+_MW_CACHE_MAX = 8192
 
 
 def _dbm_to_mw(dbm: float) -> float:
     mw = _MW_PER_DBM_CACHE.get(dbm)
     if mw is None:
         mw = 10.0 ** (dbm / 10.0)
-        _MW_PER_DBM_CACHE[dbm] = mw
+        if len(_MW_PER_DBM_CACHE) < _MW_CACHE_MAX:
+            _MW_PER_DBM_CACHE[dbm] = mw
     return mw
 
 
@@ -85,9 +118,16 @@ class RadioMedium:
         self._participants: Dict[int, MediumParticipant] = {}
         self._receivers: Dict[int, MediumParticipant] = {}
         self._active: List[_Transmission] = []
+        #: Finished transmissions young enough to still overlap something;
+        #: appended at end time, so always sorted by ``end``.
         self._recent: List[_Transmission] = []
+        #: sender → its transmissions still in ``_active`` or ``_recent``
+        #: (the half-duplex check scans only this).
+        self._tx_by_sender: Dict[int, List[_Transmission]] = {}
         #: sender -> [(receiver, cached mean gain dB)] candidate lists.
         self._candidates: Dict[int, List[Tuple[int, float]]] = {}
+        #: sender → per-receiver hot-path rows; see :meth:`finalize`.
+        self._rx_rows: Dict[int, list] = {}
         self._finalized = False
         # Statistics.
         self.transmissions = 0
@@ -114,12 +154,20 @@ class RadioMedium:
         """Precompute candidate receiver lists from mean channel gains.
 
         Must be called after all participants are attached and transmit
-        powers are set, before the simulation starts.
+        powers are set, before the simulation starts.  Besides the public
+        (receiver, mean gain) lists this builds one row per candidate with
+        everything the reception loop needs — noise floor in mW and as the
+        precomputed ``10·log10`` dB value, the receiver's modulation, its
+        pre-bound ``rx`` RNG stream and delivery callback — so the per-
+        reception cost is a single tuple unpack.
         """
         self._candidates = {}
+        self._rx_rows = {}
+        stream = self._rng.stream
         for sid, sender in self._participants.items():
             ptx = sender.radio.effective_tx_power_dbm
             row: List[Tuple[int, float]] = []
+            rx_row: list = []
             for rid, receiver in self._receivers.items():
                 if rid == sid:
                     continue
@@ -127,7 +175,31 @@ class RadioMedium:
                 mean_snr = ptx + gain - receiver.radio.noise_floor_dbm
                 if mean_snr >= _NEIGHBOR_SNR_CUTOFF_DB:
                     row.append((rid, gain))
+                    noise_mw = _dbm_to_mw(receiver.radio.noise_floor_dbm)
+                    rx_stream = stream("rx", rid)
+                    # A mutable list, not a tuple: the last two slots cache
+                    # the pair's resolved OU / Gilbert state objects once
+                    # the channel creates them (see _evaluate_receptions).
+                    # The participant is stored (not its bound callback):
+                    # tracing instruments runs by swapping on_frame_received
+                    # after construction, so delivery must late-bind it.
+                    rx_row.append(
+                        [
+                            rid,
+                            gain,
+                            (sid, rid) if sid <= rid else (rid, sid),
+                            noise_mw,
+                            10.0 * math.log10(noise_mw),
+                            receiver.radio.params.modulation,
+                            rx_stream,
+                            receiver,
+                            rx_stream.random,
+                            None,  # _OUState, resolved on first query
+                            _UNRESOLVED,  # _GilbertState or None, ditto
+                        ]
+                    )
             self._candidates[sid] = row
+            self._rx_rows[sid] = rx_row
         self._finalized = True
 
     def candidate_receivers(self, sender: int) -> List[Tuple[int, float]]:
@@ -141,14 +213,16 @@ class RadioMedium:
     # ------------------------------------------------------------------
     def channel_clear(self, node_id: int) -> bool:
         """CCA at ``node_id``: no active transmission above the threshold."""
-        listener = self._participants[node_id]
-        threshold = listener.radio.params.cca_threshold_dbm
+        active = self._active
+        if not active:
+            return True
+        threshold = self._participants[node_id].radio.params.cca_threshold_dbm
         now = self.engine.now
-        for tx in self._active:
+        gain_db = self.channel.gain_db
+        for tx in active:
             if tx.sender == node_id:
                 continue
-            rssi = tx.power_dbm + self.channel.gain_db(tx.sender, node_id, now)
-            if rssi >= threshold:
+            if tx.power_dbm + gain_db(tx.sender, node_id, now) >= threshold:
                 return False
         return True
 
@@ -168,6 +242,10 @@ class RadioMedium:
         now = self.engine.now
         tx = _Transmission(sender_id, frame, sender.radio.effective_tx_power_dbm, now, now + duration)
         self._active.append(tx)
+        own = self._tx_by_sender.get(sender_id)
+        if own is None:
+            own = self._tx_by_sender[sender_id] = []
+        own.append(tx)
         self.transmissions += 1
         self.engine.schedule(duration, self._end_transmission, tx)
         return duration
@@ -180,72 +258,216 @@ class RadioMedium:
 
     def _prune_recent(self) -> None:
         # Keep only transmissions that could still overlap something active.
-        horizon = self.engine.now - 0.25
-        if len(self._recent) > 64:
+        if len(self._recent) > _RECENT_PRUNE_LEN:
+            horizon = self.engine.now - _RECENT_HORIZON_S
             self._recent = [t for t in self._recent if t.end >= horizon]
+            for own in self._tx_by_sender.values():
+                if own:
+                    own[:] = [t for t in own if t.end >= horizon]
 
     # ------------------------------------------------------------------
     # Reception
     # ------------------------------------------------------------------
     def _overlapping(self, tx: _Transmission) -> List[_Transmission]:
         """All other transmissions overlapping ``tx`` in time."""
+        tx_start = tx.start
+        tx_end = tx.end
         out = []
         for other in self._active:
-            if other is not tx and other.start < tx.end and other.end > tx.start:
+            if other is not tx and other.start < tx_end and other.end > tx_start:
                 out.append(other)
-        for other in self._recent:
-            if other is not tx and other.start < tx.end and other.end > tx.start:
+        # ``_recent`` is sorted by end time: binary-search the first entry
+        # with ``end > tx.start`` and scan only that suffix.
+        recent = self._recent
+        lo, hi = 0, len(recent)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if recent[mid].end > tx_start:
+                hi = mid
+            else:
+                lo = mid + 1
+        for i in range(lo, len(recent)):
+            other = recent[i]
+            if other is not tx and other.start < tx_end:
                 out.append(other)
         return out
 
     def _evaluate_receptions(self, tx: _Transmission) -> None:
-        if isinstance(tx.frame, JamFrame):
+        frame = tx.frame
+        if isinstance(frame, JamFrame):
             return  # nobody decodes interference
+        if not self._finalized:
+            self.finalize()
         overlapping = self._overlapping(tx)
         t = tx.end
-        params: RadioParams = self._participants[tx.sender].radio.params
-        frame_bytes = tx.frame.length_bytes + params.phy_overhead_bytes
-        for rid, mean_gain in self.candidate_receivers(tx.sender):
-            receiver = self._receivers[rid]
-            # Half duplex: a node transmitting during any part of the frame
-            # cannot receive it.
-            if self._was_transmitting(rid, tx.start, tx.end):
+        sender_id = tx.sender
+        power_dbm = tx.power_dbm
+        params: RadioParams = self._participants[sender_id].radio.params
+        frame_bytes = frame.length_bytes + params.phy_overhead_bytes
+        channel = self.channel
+        # ---- hoisted channel state -----------------------------------
+        # The OU advance, Gilbert dwell replay, and Gaussian draw below are
+        # ChannelModel._temporal_for / ._fade_for / random.Random.gauss
+        # inlined (those remain the source of truth — the lazy first-query
+        # initialization still goes through them, and the state objects,
+        # decay cache and ``gauss_next`` spare are shared, so interleaving
+        # with the out-of-line versions stays bit-identical.  The golden
+        # test in tests/golden/ enforces this).
+        has_temporal = channel.temporal_sigma_db > 0.0
+        has_fade = channel.bimodal_fraction > 0.0
+        temporal_for = channel._temporal_for
+        fade_for = channel._fade_for
+        ou_map = channel._ou
+        gilbert_map = channel._gilbert
+        decay_map = channel._decay
+        decay_get = decay_map.get
+        decay_cache_max = _CHANNEL_CACHE_MAX
+        ou_freeze = channel._ou_freeze_s
+        ou_tau = channel.temporal_tau_s
+        ou_sigma = channel.temporal_sigma_db
+        fade_depth = channel.fade_depth_db
+        inv_fade_dwell = 1.0 / channel.fade_dwell_s
+        inv_good_dwell = 1.0 / channel.good_dwell_s
+        gain_db = channel.gain_db
+        dbm_to_mw = _dbm_to_mw
+        # ---- hoisted LQI model / white-bit policy --------------------
+        lqi_model = self.lqi_model
+        lqi_mid = lqi_model.midpoint_snr_db
+        lqi_slope = lqi_model.slope_db
+        lqi_sigma = lqi_model.noise_sigma
+        policy = self.white_bit_policy
+        wb_threshold = policy.threshold if type(policy) is LqiWhiteBit else None
+        white_eval = policy.evaluate
+        prr_q = _prr_quantized
+        log10 = math.log10
+        exp = math.exp
+        log = math.log
+        sqrt = math.sqrt
+        sin = math.sin
+        cos = math.cos
+        rx_info_new = RxInfo.__new__
+        # Half duplex: a node transmitting during any part of the frame
+        # cannot receive it.  Every such transmission overlaps ``tx`` in
+        # time, so the senders of ``overlapping`` are exactly the busy nodes.
+        busy = {other.sender for other in overlapping}
+        for row in self._rx_rows[sender_id]:
+            (
+                rid,
+                mean_gain,
+                pair_key,
+                noise_mw,
+                noise_db,
+                modulation,
+                stream,
+                receiver,
+                rx_random,
+                ou_state,
+                gilbert_state,
+            ) = row
+            if rid in busy:
                 continue
-            gain = mean_gain + self.channel.instantaneous_extra_db(tx.sender, rid, t)
-            rssi = tx.power_dbm + gain
-            noise_mw = _dbm_to_mw(receiver.radio.noise_floor_dbm)
-            interference_mw = 0.0
-            for other in overlapping:
-                other_rssi = other.power_dbm + self.channel.gain_db(other.sender, rid, t)
-                interference_mw += 10.0 ** (other_rssi / 10.0)
-            sinr_db = rssi - 10.0 * math.log10(noise_mw + interference_mw)
-            prr = prr_fast(receiver.radio.params.modulation, sinr_db, frame_bytes)
-            stream = self._rng.stream("rx", rid)
-            if stream.random() >= prr:
+            # ---- time-varying gain (== instantaneous_extra_db) -------
+            if has_temporal:
+                if ou_state is None:
+                    extra = temporal_for(pair_key, t)
+                    row[9] = ou_map[pair_key]
+                else:
+                    dt = t - ou_state.t
+                    if dt > ou_freeze:
+                        cached = decay_get(dt)
+                        if cached is None:
+                            decay = exp(-dt / ou_tau)
+                            cached = (decay, ou_sigma * sqrt(max(0.0, 1.0 - decay * decay)))
+                            if len(decay_map) < decay_cache_max:
+                                decay_map[dt] = cached
+                        s = ou_state.stream
+                        z = s.gauss_next
+                        s.gauss_next = None
+                        if z is None:
+                            x2pi = s.random() * _TWOPI
+                            g2rad = sqrt(-2.0 * log(1.0 - s.random()))
+                            z = cos(x2pi) * g2rad
+                            s.gauss_next = sin(x2pi) * g2rad
+                        ou_state.x = ou_state.x * cached[0] + (0.0 + z * cached[1])
+                        ou_state.t = t
+                    extra = ou_state.x
+            else:
+                extra = 0.0
+            if has_fade:
+                if gilbert_state is _UNRESOLVED:
+                    extra += fade_for(pair_key, t)
+                    row[10] = gilbert_map[pair_key]
+                elif gilbert_state is None:
+                    extra += 0.0
+                else:
+                    s = gilbert_state.stream
+                    state_t = gilbert_state.t
+                    faded = gilbert_state.faded
+                    while True:
+                        dwell = s.expovariate(inv_fade_dwell if faded else inv_good_dwell)
+                        if state_t + dwell > t:
+                            break
+                        state_t += dwell
+                        faded = not faded
+                    gilbert_state.t = state_t
+                    gilbert_state.faded = faded
+                    extra += -fade_depth if faded else 0.0
+            gain = mean_gain + extra
+            rssi = power_dbm + gain
+            if overlapping:
+                interference_mw = 0.0
+                for other in overlapping:
+                    other_rssi = other.power_dbm + gain_db(other.sender, rid, t)
+                    interference_mw += dbm_to_mw(other_rssi)
+                sinr_db = rssi - 10.0 * log10(noise_mw + interference_mw)
+            else:
+                interference_mw = 0.0
+                sinr_db = rssi - noise_db
+            # ---- decode decision (== prr_fast) ------------------------
+            if sinr_db >= 25.0:
+                prr = 1.0
+            elif sinr_db <= -8.0:
+                prr = 0.0
+            else:
+                prr = prr_q(modulation, round(sinr_db * 100.0), frame_bytes)
+            if rx_random() >= prr:
                 if interference_mw > noise_mw:
                     self.collisions += 1
                 continue
-            lqi = self.lqi_model.sample(sinr_db, stream)
-            white = self.white_bit_policy.evaluate(sinr_db, lqi)
-            info = RxInfo(
-                timestamp=t,
-                rssi_dbm=rssi,
-                snr_db=sinr_db,
-                lqi=lqi,
-                white_bit=white,
+            # ---- LQI sample (== LqiModel.sample) ----------------------
+            z = stream.gauss_next
+            stream.gauss_next = None
+            if z is None:
+                x2pi = rx_random() * _TWOPI
+                g2rad = sqrt(-2.0 * log(1.0 - rx_random()))
+                z = cos(x2pi) * g2rad
+                stream.gauss_next = sin(x2pi) * g2rad
+            value = (
+                LQI_MIN
+                + _LQI_SPAN / (1.0 + exp(-(sinr_db - lqi_mid) / lqi_slope))
+                + (0.0 + z * lqi_sigma)
+            )
+            lqi = int(round(min(max(value, LQI_MIN), LQI_MAX)))
+            white = lqi >= wb_threshold if wb_threshold is not None else white_eval(sinr_db, lqi)
+            # RxInfo is a frozen dataclass; built the regular way each field
+            # pays an ``object.__setattr__`` call.  Populating ``__dict__``
+            # directly is byte-equivalent (the lqi range check is vacuous:
+            # the sample above is clamped to [LQI_MIN, LQI_MAX]).
+            info = rx_info_new(RxInfo)
+            info.__dict__.update(
+                timestamp=t, rssi_dbm=rssi, snr_db=sinr_db, lqi=lqi, white_bit=white
             )
             self.deliveries += 1
             if white:
                 self.white_bits_set += 1
-            receiver.on_frame_received(tx.frame, info)
+            receiver.on_frame_received(frame, info)
 
     def _was_transmitting(self, node_id: int, start: float, end: float) -> bool:
-        for tx in self._active:
-            if tx.sender == node_id and tx.start < end and tx.end > start:
-                return True
-        for tx in self._recent:
-            if tx.sender == node_id and tx.start < end and tx.end > start:
-                return True
+        own = self._tx_by_sender.get(node_id)
+        if own:
+            for tx in own:
+                if tx.start < end and tx.end > start:
+                    return True
         return False
 
 

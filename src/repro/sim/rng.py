@@ -56,9 +56,25 @@ class RngManager:
 
     def stream(self, *key: _KeyPart) -> random.Random:
         """Return the stream for ``key``, creating it on first use."""
-        if key not in self._streams:
-            self._streams[key] = random.Random(derive_seed(self.master_seed, *key))
-        return self._streams[key]
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._streams[key] = random.Random(derive_seed(self.master_seed, *key))
+        return stream
+
+    def cached_stream(self, *key: _KeyPart) -> random.Random:
+        """Interned stream lookup for hot paths.
+
+        Identical to :meth:`stream` — the same interned ``random.Random``
+        comes back for a given key, so call sites that query every event
+        should call this once and hold the reference instead of re-deriving
+        the key per query (the tuple hash is what costs).  The separate
+        name documents that holding the reference is safe: streams are
+        never invalidated or replaced for the manager's lifetime.
+        """
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._streams[key] = random.Random(derive_seed(self.master_seed, *key))
+        return stream
 
     def fork(self, *key: _KeyPart) -> "RngManager":
         """Return a new manager whose master seed is derived from ``key``.

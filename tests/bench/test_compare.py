@@ -1,0 +1,121 @@
+"""Unit tests for the ``repro.bench`` result format and regression gate."""
+
+import pytest
+
+from repro.bench.compare import compare_results, render_reports
+from repro.bench.core import (
+    SCHEMA_VERSION,
+    BenchResult,
+    find_baseline,
+    load_result,
+    write_result,
+)
+
+
+def make_result(name="micro_x", events=1000.0, check=None, env=None, **metrics):
+    metrics.setdefault("events_per_s", events)
+    return BenchResult(
+        name=name,
+        kind="micro",
+        metrics=metrics,
+        latency_s={"p50": 1e-5, "p95": 5e-5},
+        check=check or {"deliveries": 42, "collisions": 3},
+        wall_s=1.0,
+        env=env or {"python": "3.11.0", "machine": "x86_64"},
+    )
+
+
+# ----------------------------------------------------------------------
+# Round-trip
+# ----------------------------------------------------------------------
+def test_write_load_round_trip(tmp_path):
+    result = make_result()
+    path = write_result(result, tmp_path)
+    assert path.name == "BENCH_micro_x.json"
+    loaded = load_result(path)
+    assert loaded.name == result.name
+    assert loaded.metrics == result.metrics
+    assert loaded.latency_s == result.latency_s
+    assert loaded.check == result.check
+    assert loaded.schema == SCHEMA_VERSION
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    path = write_result(make_result(), tmp_path)
+    text = path.read_text().replace(f'"schema": {SCHEMA_VERSION}', '"schema": 999')
+    path.write_text(text)
+    with pytest.raises(ValueError, match="schema"):
+        load_result(path)
+
+
+def test_find_baseline_resolves_dir_and_file(tmp_path):
+    path = write_result(make_result(), tmp_path)
+    assert find_baseline("micro_x", tmp_path) == path
+    assert find_baseline("micro_x", path) == path
+    assert find_baseline("missing", tmp_path) is None
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def test_no_regression_when_faster():
+    report = compare_results(make_result(events=1000.0), make_result(events=2000.0))
+    assert not report.regressed
+    (delta,) = report.deltas
+    assert delta.ratio == pytest.approx(2.0)
+
+
+def test_regression_below_threshold():
+    # 40% drop against the default 30% threshold: regressed.
+    report = compare_results(make_result(events=1000.0), make_result(events=600.0))
+    assert report.regressed
+
+
+def test_threshold_is_respected():
+    # The same 40% drop passes a 50% threshold.
+    report = compare_results(
+        make_result(events=1000.0), make_result(events=600.0), threshold=0.5
+    )
+    assert not report.regressed
+
+
+def test_latency_never_gates():
+    old = make_result()
+    new = make_result()
+    new.latency_s = {"p50": 1e-2, "p95": 1e-1}  # thousandfold latency blowup
+    report = compare_results(old, new)
+    assert not report.regressed
+    assert len(report.latency_deltas) == 2
+
+
+def test_check_mismatch_is_flagged():
+    old = make_result(check={"deliveries": 42, "collisions": 3})
+    new = make_result(check={"deliveries": 41, "collisions": 3})
+    report = compare_results(old, new)
+    assert report.check_mismatches == ["deliveries"]
+    assert "simulated behavior changed" in report.render()
+
+
+def test_identical_checks_are_silent():
+    report = compare_results(make_result(), make_result())
+    assert report.check_mismatches == []
+
+
+def test_env_fingerprint_change_noted():
+    old = make_result(env={"python": "3.11.0", "machine": "x86_64"})
+    new = make_result(env={"python": "3.12.1", "machine": "x86_64"})
+    report = compare_results(old, new)
+    assert report.env_changed
+    assert "different host/python" in report.render()
+
+
+def test_different_scenarios_refuse_comparison():
+    with pytest.raises(ValueError, match="different scenarios"):
+        compare_results(make_result(name="a"), make_result(name="b"))
+
+
+def test_render_reports_footer():
+    ok = [compare_results(make_result(), make_result())]
+    assert "OK: no regressions" in render_reports(ok, 0.3)
+    bad = [compare_results(make_result(events=1000.0), make_result(events=100.0))]
+    assert "FAIL: regression in micro_x" in render_reports(bad, 0.3)
