@@ -25,16 +25,19 @@ quiet network beacon samples dominate.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from random import Random
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.ewma import Ewma
 from repro.core.interfaces import CompareBitProvider, EstimatorClient, LinkEstimator
 from repro.core.neighbor_table import NeighborEntry, NeighborTable
-from repro.link.frame import FooterEntry, LinkEstimatorFrame, NetworkFrame, le_wrap
+from repro.link.frame import FooterEntry, Frame, LinkEstimatorFrame, NetworkFrame, le_wrap
 from repro.link.mac import Mac
 from repro.sim.packets import RxInfo, TxResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
 
 _INF = float("inf")
 
@@ -133,7 +136,7 @@ class EstimatorStats:
     #: Metric name prefix (``layer.component``) in the obs registry.
     METRICS_PREFIX = "est.estimator"
 
-    def register_into(self, registry, **labels) -> None:
+    def register_into(self, registry: "MetricsRegistry", **labels: str) -> None:
         """Register every counter as ``est.estimator.<field>`` in an
         :class:`repro.obs.metrics.MetricsRegistry`."""
         from repro.obs.metrics import register_dataclass_counters
@@ -148,7 +151,7 @@ class HybridLinkEstimator(LinkEstimator):
         self,
         mac: Mac,
         config: EstimatorConfig,
-        rng: random.Random,
+        rng: Random,
         compare_provider: Optional[CompareBitProvider] = None,
     ) -> None:
         self.mac = mac
@@ -258,7 +261,7 @@ class HybridLinkEstimator(LinkEstimator):
         picked = [entries[(start + i) % len(entries)] for i in range(count)]
         return [(e.addr, e.prr_ewma.value) for e in picked]
 
-    def _mac_send_done(self, wrapped, result: TxResult) -> None:
+    def _mac_send_done(self, wrapped: Frame, result: TxResult) -> None:
         payload = wrapped.payload if isinstance(wrapped, LinkEstimatorFrame) else wrapped
         if (
             self.config.use_ack_stream
@@ -269,7 +272,7 @@ class HybridLinkEstimator(LinkEstimator):
         if self.client is not None:
             self.client.on_send_done(payload, result.sent, result.ack_bit)
 
-    def _mac_receive(self, frame, info: RxInfo) -> None:
+    def _mac_receive(self, frame: Frame, info: RxInfo) -> None:
         if not isinstance(frame, LinkEstimatorFrame):
             return  # foreign stack
         if frame.is_broadcast:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 from typing import Iterable, Optional, Protocol, runtime_checkable
 
+
 from repro.link.frame import NetworkFrame
 from repro.sim.packets import RxInfo
 
@@ -43,6 +44,15 @@ class CompareBitProvider(Protocol):
 
 class LinkEstimator(abc.ABC):
     """The estimator interface network layers program against."""
+
+    #: Callback sink for unwrapped frames and send-done events.  The network
+    #: layer wires this at stack-construction time; declaring it here keeps
+    #: that wiring inside the four-bit contract, so network code never needs
+    #: a concrete estimator type.
+    client: Optional["EstimatorClient"] = None
+    #: The network layer's compare-bit implementation (may arrive after
+    #: construction, once the routing engine exists).
+    compare_provider: Optional[CompareBitProvider] = None
 
     # -- estimates ------------------------------------------------------
     @abc.abstractmethod

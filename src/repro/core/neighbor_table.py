@@ -11,9 +11,10 @@ entry when a promising newcomer arrives.
 from __future__ import annotations
 
 import math
-import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from random import Random
+from dataclasses import dataclass
+
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.core.ewma import Ewma
 
@@ -109,7 +110,9 @@ class NeighborTable:
         self._entries[addr] = entry
         return entry
 
-    def evict_random_unpinned(self, rng: random.Random, eligible=None) -> Optional[int]:
+    def evict_random_unpinned(
+        self, rng: Random, eligible: Optional[Callable[[NeighborEntry], bool]] = None
+    ) -> Optional[int]:
         """Evict a uniformly random unpinned entry; returns its address.
 
         ``eligible`` optionally narrows the victim pool further (e.g. to

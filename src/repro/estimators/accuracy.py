@@ -18,9 +18,9 @@ why 4B treats beacons as bootstrap values and lets the ack bit refine them.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
 
 from repro.core.estimator import EstimatorConfig, HybridLinkEstimator
 from repro.link.frame import BROADCAST, NetworkFrame, le_wrap

@@ -17,7 +17,8 @@ to parallelize.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
+
 from statistics import mean
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 

@@ -15,7 +15,8 @@ whose ack bit notices the loss at data rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Dict, List, Optional, Tuple
 
 import dataclasses

@@ -12,7 +12,8 @@ channel, the more the four bits matter.)
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import Dict
+
 
 from repro.analysis.render import table
 from repro.experiments.common import (

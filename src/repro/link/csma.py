@@ -8,7 +8,7 @@ attempts are exhausted the transmission fails with a channel-access error.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import Optional
 
 from repro.phy.radio import RadioParams
@@ -17,7 +17,7 @@ from repro.phy.radio import RadioParams
 class CsmaBackoff:
     """Backoff state machine for a single frame."""
 
-    def __init__(self, params: RadioParams, rng: random.Random) -> None:
+    def __init__(self, params: RadioParams, rng: Random) -> None:
         self.params = params
         self.rng = rng
         self._be = params.min_be

@@ -12,7 +12,8 @@ which is exactly why the ack bit measures *bidirectional* link quality
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Callable, Optional
 
 from repro.link.csma import CsmaBackoff

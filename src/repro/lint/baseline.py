@@ -1,0 +1,91 @@
+"""Committed baseline: known findings that do not fail the build.
+
+The baseline is a JSON file of finding *fingerprints* (rule + path +
+message, deliberately excluding line numbers so unrelated edits do not
+un-baseline an entry).  Matching is multiset-style: a fingerprint recorded
+``count`` times suppresses at most ``count`` live findings, so introducing
+a *second* copy of a baselined violation still fails.
+
+``python -m repro.lint --write-baseline`` regenerates the file from the
+current findings; review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.core import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Multiset of accepted finding fingerprints."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def partition(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Split into (new, baselined) preserving order."""
+        remaining = Counter(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if remaining[finding.fingerprint] > 0:
+                remaining[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    @property
+    def size(self) -> int:
+        return sum(self.counts.values())
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load ``path``; a missing file is an empty baseline."""
+    if not path.is_file():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    counts: Counter = Counter()
+    for entry in data.get("findings", []):
+        counts[entry["fingerprint"]] += int(entry.get("count", 1))
+    return Baseline(counts)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write the current findings as the new baseline; returns entry count.
+
+    Entries keep a human-readable rule/path/message alongside the
+    fingerprint so baseline diffs review like code.
+    """
+    counts: Counter = Counter(f.fingerprint for f in findings)
+    by_fingerprint: Dict[str, Finding] = {}
+    for finding in findings:
+        by_fingerprint.setdefault(finding.fingerprint, finding)
+    entries = []
+    for fingerprint in sorted(counts):
+        example = by_fingerprint[fingerprint]
+        entries.append(
+            {
+                "fingerprint": fingerprint,
+                "count": counts[fingerprint],
+                "rule": example.rule,
+                "name": example.name,
+                "path": example.path,
+                "message": example.message,
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)

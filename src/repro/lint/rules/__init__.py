@@ -1,0 +1,52 @@
+"""Rule registry: one instance of every lint rule, in report order."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.core import Rule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.hygiene import FloatEqualityRule, MutableDefaultRule, UnusedImportRule
+from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.stats_bridge import StatsBridgeRule
+from repro.lint.rules.units import UnitsRule
+
+#: All rules, by id order.  Every rule is on by default.
+RULES: List[Rule] = [
+    DeterminismRule(),
+    LayeringRule(),
+    UnitsRule(),
+    StatsBridgeRule(),
+    MutableDefaultRule(),
+    FloatEqualityRule(),
+    UnusedImportRule(),
+]
+
+
+def rules_by_name() -> Dict[str, Rule]:
+    """Lookup accepting either the id (``D001``) or the name."""
+    table: Dict[str, Rule] = {}
+    for rule in RULES:
+        table[rule.id] = rule
+        table[rule.name] = rule
+    return table
+
+
+def default_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """The enabled rule set after ``--select`` / ``--ignore`` filtering.
+
+    Raises ``KeyError`` for an unknown rule id/name so typos fail loudly.
+    """
+    table = rules_by_name()
+
+    def resolve(keys: Iterable[str]) -> List[Rule]:
+        return [table[k] for k in keys]
+
+    enabled = resolve(select) if select else list(RULES)
+    if ignore:
+        dropped = {id(r) for r in resolve(ignore)}
+        enabled = [r for r in enabled if id(r) not in dropped]
+    return enabled

@@ -1,0 +1,138 @@
+"""L001: the four-bit contract, statically.
+
+The paper's architecture stacks ``phy < link < core (estimator, layer 2.5)
+< net`` and couples them through *narrow interfaces*: the white bit, ack
+bit, pin bit, and compare bit, all declared in
+:mod:`repro.core.interfaces`.  This rule turns that into an import-graph
+invariant for modules inside the four layer packages:
+
+* imports within one layer are free;
+* a handful of **shared modules** are importable from any layer: the
+  interface contract itself, the wire-format frame definitions, and the
+  simulation infrastructure (engine, packets, rng) which is plumbing, not
+  a protocol layer;
+* each layer may additionally import the **entry point** of the layer
+  directly below it (link drives ``phy.radio``; the estimator sits on
+  ``link.mac``) — that is the datapath, not estimation state;
+* everything else is a layering violation: ``net`` reaching into
+  ``phy`` internals, ``net`` importing a concrete estimator instead of
+  the :class:`~repro.core.interfaces.LinkEstimator` contract, upward
+  imports, etc.
+
+Composition roots (``repro.sim.network``/``node``), experiments, and the
+observability stack are outside the four layers and exempt — something has
+to wire the stack together.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+#: Bottom-up order of the checked layers.
+LAYER_ORDER = ("phy", "link", "core", "net")
+
+_LAYER_OF_PACKAGE = {f"repro.{layer}": layer for layer in LAYER_ORDER}
+
+#: Modules importable from any layer: the four-bit contract, the shared
+#: wire formats, and simulation plumbing.
+SHARED_MODULES = {
+    "repro.core.interfaces",
+    "repro.link.frame",
+    "repro.sim.engine",
+    "repro.sim.packets",
+    "repro.sim.rng",
+}
+
+#: Per-layer datapath entry point, importable from the layer directly above.
+ENTRY_POINTS: Dict[str, Set[str]] = {
+    "phy": {"repro.phy.radio"},
+    "link": {"repro.link.mac"},
+    "core": set(),  # net programs against repro.core.interfaces only
+    "net": set(),
+}
+
+
+def _layer_of(module: str) -> Optional[str]:
+    parts = module.split(".")
+    if len(parts) >= 2:
+        return _LAYER_OF_PACKAGE.get(".".join(parts[:2]))
+    return None
+
+
+def _target_module(target: str) -> str:
+    """Module part of an import target (strip a trailing symbol name).
+
+    ``from repro.phy.radio import Radio`` targets ``repro.phy.radio.Radio``;
+    the module is the longest prefix that is lowercase-ish.  We use the
+    convention that symbols start with an uppercase letter or the import is
+    a plain ``import x.y`` (already a module).
+    """
+    parts = target.split(".")
+    # Layer packages only contain modules two+ levels deep; a final
+    # CamelCase / UPPER component is a symbol imported from the module.
+    if len(parts) >= 2 and parts[-1][:1].isupper():
+        return ".".join(parts[:-1])
+    return target
+
+
+class LayeringRule(Rule):
+    id = "L001"
+    name = "layering"
+    description = (
+        "phy/link/core/net may only couple through core/interfaces.py, the "
+        "shared frame formats, sim plumbing, and the layer below's entry point"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        src_layer = _layer_of(module.module)
+        if src_layer is None:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield from self._check_edge(module, src_layer, (alias.name,), node)
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                base = node.module or ""
+                if not base.startswith("repro."):
+                    continue
+                for alias in node.names:
+                    # ``alias`` may be a symbol in ``base`` or a submodule of
+                    # it; either the importing of the symbol's module or the
+                    # submodule itself must be sanctioned.
+                    yield from self._check_edge(module, src_layer, (base, f"{base}.{alias.name}"), node)
+
+    def _check_edge(
+        self, module: ModuleInfo, src_layer: str, candidates: Tuple[str, ...], node: ast.AST
+    ) -> Iterator[Finding]:
+        target_mod = _target_module(candidates[-1])
+        dst_layer = _layer_of(target_mod)
+        if dst_layer is None or dst_layer == src_layer:
+            return
+        if any(c in SHARED_MODULES for c in (*candidates, target_mod)):
+            return
+        src_idx = LAYER_ORDER.index(src_layer)
+        dst_idx = LAYER_ORDER.index(dst_layer)
+        allowed_below = ENTRY_POINTS[dst_layer]
+        if dst_idx == src_idx - 1 and any(
+            c in allowed_below for c in (*candidates, target_mod)
+        ):
+            return
+        if dst_idx > src_idx:
+            how = f"imports upward into `{target_mod}`"
+        elif dst_idx == src_idx - 1:
+            how = (
+                f"imports `{target_mod}` — only the `{dst_layer}` entry "
+                f"point(s) {sorted(ENTRY_POINTS[dst_layer]) or '[none]'} may "
+                "cross this boundary"
+            )
+        else:
+            how = f"skips layers: imports `{target_mod}` ({dst_layer}) from {src_layer}"
+        yield self.finding(
+            module,
+            node,
+            f"layer `{src_layer}` {how}; cross layers through "
+            "repro.core.interfaces (the four-bit contract)",
+        )

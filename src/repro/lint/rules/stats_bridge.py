@@ -1,0 +1,159 @@
+"""S001: every layer stats counter must reach the obs metrics registry.
+
+PR 2 established the pattern: each layer keeps its counters as cheap
+dataclass fields (``MacStats``, ``EstimatorStats``, ...) and bridges them
+into the :class:`repro.obs.metrics.MetricsRegistry` through a
+``register_into`` method, under a ``METRICS_PREFIX`` of the canonical
+``layer.component`` form.  Drift creeps in silently: add a counter field,
+forget the bridge, and dashboards/obs CLI simply never see it — no test
+fails.
+
+This rule makes the contract static.  For every ``@dataclass`` whose name
+ends in ``Stats`` inside a layer package it checks that:
+
+* a ``METRICS_PREFIX`` string constant exists,
+* a ``register_into`` method exists, and
+* the method bridges **every** numeric field — either wholesale via
+  ``register_dataclass_counters`` (which iterates the fields at runtime),
+  or, when registering manually, with a metric-name string literal whose
+  final dotted segment matches each field name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.core import Finding, ModuleInfo, Rule, qualified_name
+
+#: Packages whose Stats dataclasses feed the obs bridge.
+LAYER_PACKAGES = (
+    "repro.phy",
+    "repro.link",
+    "repro.core",
+    "repro.net",
+    "repro.sim",
+    "repro.workloads",
+)
+
+NUMERIC_ANNOTATIONS = {"int", "float"}
+REGISTER_HELPERS = {"register_dataclass_counters"}
+REGISTRY_METHODS = {"counter", "gauge", "histogram"}
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        qual = qualified_name(target)
+        if qual in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def _numeric_fields(node: ast.ClassDef) -> List[str]:
+    fields = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            ann = stmt.annotation
+            if isinstance(ann, ast.Name) and ann.id in NUMERIC_ANNOTATIONS:
+                fields.append(stmt.target.id)
+            elif isinstance(ann, ast.Constant) and ann.value in NUMERIC_ANNOTATIONS:
+                fields.append(stmt.target.id)
+    return fields
+
+
+def _class_constant(node: ast.ClassDef, name: str) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return True
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.target.id == name and stmt.value is not None:
+                return True
+    return False
+
+
+def _find_method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _bridged_field_segments(method: ast.FunctionDef) -> Optional[Set[str]]:
+    """Field names manually bridged in ``register_into``.
+
+    Returns None when the method delegates to ``register_dataclass_counters``
+    — the helper iterates ``dataclasses.fields`` at runtime, so every
+    numeric field is covered by construction.
+    """
+    segments: Set[str] = set()
+    for sub in ast.walk(method):
+        if not isinstance(sub, ast.Call):
+            continue
+        qual = qualified_name(sub.func)
+        if qual is not None and qual.split(".")[-1] in REGISTER_HELPERS:
+            return None
+        if (
+            isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in REGISTRY_METHODS
+            and sub.args
+            and isinstance(sub.args[0], ast.Constant)
+            and isinstance(sub.args[0].value, str)
+        ):
+            segments.add(sub.args[0].value.rsplit(".", 1)[-1])
+    return segments
+
+
+class StatsBridgeRule(Rule):
+    id = "S001"
+    name = "stats-bridge"
+    description = (
+        "every *Stats dataclass in a layer package declares METRICS_PREFIX and "
+        "bridges all numeric fields into the obs registry via register_into"
+    )
+
+    def _in_scope(self, module: ModuleInfo) -> bool:
+        if module.module.startswith("repro."):
+            return module.in_packages(LAYER_PACKAGES)
+        return True
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self._in_scope(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Stats") or not _is_dataclass(node):
+                continue
+            fields = _numeric_fields(node)
+            if not fields:
+                continue
+            if not _class_constant(node, "METRICS_PREFIX"):
+                yield self.finding(
+                    module,
+                    node,
+                    f"stats dataclass `{node.name}` has no METRICS_PREFIX — "
+                    "obs metrics need a canonical layer.component name",
+                )
+            method = _find_method(node, "register_into")
+            if method is None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"stats dataclass `{node.name}` has no register_into — its "
+                    "counters never reach the obs metrics registry",
+                )
+                continue
+            bridged = _bridged_field_segments(method)
+            if bridged is None:
+                continue  # register_dataclass_counters covers every field
+            for field_name in fields:
+                if field_name not in bridged:
+                    yield self.finding(
+                        module,
+                        method,
+                        f"`{node.name}.{field_name}` is never registered in "
+                        "register_into — obs dashboards will silently miss it",
+                    )

@@ -1,0 +1,82 @@
+"""U001: dBm (log domain) and mW (linear domain) must not mix.
+
+The channel code carries powers in both domains — dBm through the link
+budget, mW where noise sums.  Adding or comparing across the domains is
+always a bug (``-90 dBm`` is ``1e-9 mW``, not ``-90 mW``), and the repo's
+naming convention makes it statically visible: variables and attributes
+end in ``_dbm`` / ``_db`` (log) or ``_mw`` / ``_w`` (linear).  This rule
+flags ``+``/``-`` arithmetic and ``<``/``>``/``==`` comparisons whose
+operands carry suffixes from *different* domains.  Conversions go through
+the dedicated helpers (``dbm_to_mw`` and friends), whose call expressions
+carry no suffix and therefore never trip the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+LOG_SUFFIXES = ("_dbm", "_db")
+LINEAR_SUFFIXES = ("_mw", "_w")
+
+
+def _domain_of(node: ast.expr) -> Optional[str]:
+    """``"log"`` / ``"linear"`` when the expression names a unit-suffixed
+    variable or attribute, else None."""
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    elif isinstance(node, ast.UnaryOp):
+        return _domain_of(node.operand)
+    else:
+        return None
+    lowered = ident.lower()
+    # _dbm must win over _db as a suffix check ordering concern; both are log.
+    for suffix in LOG_SUFFIXES:
+        if lowered.endswith(suffix):
+            return "log"
+    for suffix in LINEAR_SUFFIXES:
+        if lowered.endswith(suffix):
+            return "linear"
+    return None
+
+
+def _ident_of(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.UnaryOp):
+        return _ident_of(node.operand)
+    return "<expr>"
+
+
+class UnitsRule(Rule):
+    id = "U001"
+    name = "units"
+    description = "no +/-/comparison mixing _dbm/_db (log) with _mw/_w (linear) operands"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(module, node, node.left, node.right)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(module, node, left, right)
+
+    def _check_pair(
+        self, module: ModuleInfo, node: ast.AST, left: ast.expr, right: ast.expr
+    ) -> Iterator[Finding]:
+        ld, rd = _domain_of(left), _domain_of(right)
+        if ld is not None and rd is not None and ld != rd:
+            yield self.finding(
+                module,
+                node,
+                f"mixes {ld}-domain `{_ident_of(left)}` with {rd}-domain "
+                f"`{_ident_of(right)}` in one expression — convert via the "
+                "dbm/mw helpers first",
+            )

@@ -14,8 +14,10 @@ original handler), recording for a chosen link:
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+
+from typing import List, Optional, Tuple
+
 
 from repro.link.frame import AckFrame, Frame, JamFrame
 from repro.link.mac import Mac

@@ -10,7 +10,7 @@ evaluation; no separate "link down" signal is needed.
 from __future__ import annotations
 
 import math
-import random
+from random import Random
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Optional, Tuple
@@ -83,7 +83,7 @@ class CtpForwardingEngine:
         estimator: LinkEstimator,
         routing: CtpRoutingEngine,
         node_id: int,
-        rng: random.Random,
+        rng: Random,
         config: CtpForwardingConfig = CtpForwardingConfig(),
     ) -> None:
         self.engine = engine

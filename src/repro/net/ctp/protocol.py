@@ -9,12 +9,11 @@ honoring the interface (any Figure 6 preset) slots in unchanged.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
+from random import Random
 from typing import Optional
 
-from repro.core.estimator import HybridLinkEstimator
-from repro.core.interfaces import EstimatorClient
+from repro.core.interfaces import EstimatorClient, LinkEstimator
 from repro.link.frame import NetworkFrame
 from repro.net.ctp.forwarding import CtpForwardingConfig, CtpForwardingEngine
 from repro.net.ctp.frames import CtpDataFrame, CtpRoutingFrame
@@ -60,10 +59,10 @@ class CtpProtocol(EstimatorClient):
     def __init__(
         self,
         engine: Engine,
-        estimator: HybridLinkEstimator,
+        estimator: LinkEstimator,
         node_id: int,
         is_root: bool,
-        rng: random.Random,
+        rng: Random,
         config: CtpConfig = CtpConfig(),
     ) -> None:
         self.node_id = node_id

@@ -13,9 +13,11 @@ estimator are exactly the two network-layer bits:
 from __future__ import annotations
 
 import math
-import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from random import Random
+from dataclasses import dataclass
+
+from typing import Callable, Dict, Optional
+
 
 from repro.core.interfaces import CompareBitProvider, LinkEstimator
 from repro.net.ctp.frames import NO_PARENT, CtpRoutingFrame, make_routing_frame
@@ -78,7 +80,7 @@ class CtpRoutingEngine(CompareBitProvider):
         estimator: LinkEstimator,
         node_id: int,
         is_root: bool,
-        rng: random.Random,
+        rng: Random,
         config: CtpRoutingConfig = CtpRoutingConfig(),
     ) -> None:
         self.engine = engine

@@ -9,7 +9,7 @@ suppression half, only the adaptive interval.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import Callable, Optional
 
 from repro.sim.engine import Engine, EventHandle
@@ -22,7 +22,7 @@ class TrickleTimer:
         self,
         engine: Engine,
         callback: Callable[[], None],
-        rng: random.Random,
+        rng: Random,
         i_min_s: float = 0.125,
         i_max_s: float = 512.0,
     ) -> None:

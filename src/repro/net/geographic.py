@@ -23,12 +23,11 @@ is itself a small proof of the architecture's composability.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
+from random import Random
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.core.estimator import HybridLinkEstimator
-from repro.core.interfaces import CompareBitProvider, EstimatorClient
+from repro.core.interfaces import CompareBitProvider, EstimatorClient, LinkEstimator
 from repro.link.frame import BROADCAST, NetworkFrame
 from repro.net.ctp.forwarding import CtpForwardingConfig, CtpForwardingEngine
 from repro.net.ctp.frames import CtpDataFrame
@@ -75,7 +74,7 @@ class GreedyGeoRouting(CompareBitProvider):
         position: Position,
         sink_position: Position,
         is_root: bool,
-        rng: random.Random,
+        rng: Random,
         config: GeoConfig = GeoConfig(),
     ) -> None:
         self.engine = engine
@@ -179,12 +178,12 @@ class GreedyGeoProtocol(EstimatorClient):
     def __init__(
         self,
         engine: Engine,
-        estimator: HybridLinkEstimator,
+        estimator: LinkEstimator,
         node_id: int,
         position: Position,
         sink_position: Position,
         is_root: bool,
-        rng: random.Random,
+        rng: Random,
         config: GeoConfig = GeoConfig(),
         forwarding_config: CtpForwardingConfig = CtpForwardingConfig(),
     ) -> None:

@@ -13,13 +13,17 @@ protocol keeps hammering the same parent.
 from __future__ import annotations
 
 import math
-import random
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Optional, Tuple
+from random import Random
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.link.frame import BROADCAST, NetworkFrame
-from repro.link.mac import Mac
+
+# MultiHopLQI is the paper's LQI-blind *monolithic* baseline: it owns the MAC
+# directly and bypasses the estimator stack on purpose, so this is the one
+# sanctioned breach of the four-bit layering contract.
+from repro.link.mac import Mac  # lint: disable=layering
 from repro.sim.engine import Engine
 from repro.sim.packets import RxInfo, TxResult
 
@@ -146,7 +150,7 @@ class MultiHopLqi:
         mac: Mac,
         node_id: int,
         is_root: bool,
-        rng: random.Random,
+        rng: Random,
         config: MhlqiConfig = MhlqiConfig(),
     ) -> None:
         self.engine = engine

@@ -15,7 +15,7 @@ stays high even as PRR collapses.
 from __future__ import annotations
 
 import math
-import random
+from random import Random
 from dataclasses import dataclass
 
 #: CC2420 LQI ceiling for a perfectly clean channel.
@@ -39,7 +39,7 @@ class LqiModel:
             1.0 + math.exp(-(snr_db - self.midpoint_snr_db) / self.slope_db)
         )
 
-    def sample(self, snr_db: float, rng: random.Random) -> int:
+    def sample(self, snr_db: float, rng: Random) -> int:
         """One noisy LQI measurement, clamped to the hardware range.
 
         Runs once per delivered frame; the logistic is inlined rather than

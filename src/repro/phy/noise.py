@@ -13,13 +13,14 @@ Two phenomena the paper leans on live here:
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.link.frame import BROADCAST, JamFrame
+from repro.link.frame import BROADCAST, Frame, JamFrame
 from repro.phy.radio import Radio, RadioParams
 from repro.sim.engine import Engine
+from repro.sim.packets import RxInfo
 from repro.sim.medium import RadioMedium
 
 #: Interferer node ids live far above real node ids.
@@ -28,7 +29,7 @@ INTERFERER_ID_BASE = 100_000
 
 def apply_hardware_variation(
     radios: Iterable[Radio],
-    rng: random.Random,
+    rng: Random,
     tx_power_sigma_db: float = 1.0,
     noise_floor_sigma_db: float = 1.5,
     nominal_noise_floor_dbm: float = -98.0,
@@ -65,7 +66,7 @@ class _InterfererBase:
         medium: RadioMedium,
         node_id: int,
         power_dbm: float,
-        rng: random.Random,
+        rng: Random,
         burst: BurstParams = BurstParams(),
         params: Optional[RadioParams] = None,
     ) -> None:
@@ -79,7 +80,7 @@ class _InterfererBase:
         medium.attach(self, receiver=False)
 
     # Transmit-only participant: never receives.
-    def on_frame_received(self, frame, info) -> None:  # pragma: no cover
+    def on_frame_received(self, frame: Frame, info: RxInfo) -> None:  # pragma: no cover
         raise AssertionError("interferers do not receive")
 
     def _emit_burst(self) -> float:
@@ -105,7 +106,7 @@ class WindowedInterferer(_InterfererBase):
     point in the run.
     """
 
-    def __init__(self, *args, windows: Sequence[Tuple[float, float]], **kwargs) -> None:
+    def __init__(self, *args: Any, windows: Sequence[Tuple[float, float]], **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.windows = sorted(windows)
 
@@ -119,7 +120,7 @@ class WindowedInterferer(_InterfererBase):
 class MarkovInterferer(_InterfererBase):
     """Interferer that alternates exponential OFF/ON periods (Gilbert–Elliott)."""
 
-    def __init__(self, *args, off_mean_s: float = 120.0, on_mean_s: float = 20.0, **kwargs) -> None:
+    def __init__(self, *args: Any, off_mean_s: float = 120.0, on_mean_s: float = 20.0, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.off_mean_s = off_mean_s
         self.on_mean_s = on_mean_s
@@ -139,9 +140,9 @@ def place_interferers(
     medium: RadioMedium,
     positions: List[Tuple[float, float]],
     power_dbm: float,
-    rng_factory,
+    rng_factory: Callable[..., Random],
     kind: str = "markov",
-    **kwargs,
+    **kwargs: Any,
 ) -> List[_InterfererBase]:
     """Create and register interferers at the given positions."""
     out: List[_InterfererBase] = []

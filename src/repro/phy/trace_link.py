@@ -14,7 +14,8 @@ from __future__ import annotations
 import bisect
 import csv
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
+
 
 from repro.link.frame import Frame, JamFrame
 from repro.phy.lqi import DEFAULT_LQI_MODEL, LqiModel
@@ -122,7 +123,7 @@ class TraceMedium:
         return trace.prr_at(t) if trace is not None else 0.0
 
     # -- medium interface -------------------------------------------------
-    def attach(self, participant, receiver: bool = True) -> None:
+    def attach(self, participant: Any, receiver: bool = True) -> None:
         self._participants[participant.node_id] = participant
 
     def finalize(self) -> None:  # interface parity with RadioMedium

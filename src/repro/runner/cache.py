@@ -19,7 +19,8 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Union
+
 
 #: Sentinel distinguishing "no cached value" from a cached ``None``.
 MISS = object()

@@ -34,7 +34,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.runner.cache import MISS, ResultCache, cache_dir_from_env
+from repro.runner.cache import MISS, ResultCache
+
 from repro.runner.hashing import config_digest
 
 

@@ -34,7 +34,7 @@ class EventHandle:
         fn: Callable[..., Any],
         args: tuple,
         engine: "Optional[Engine]" = None,
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[..., Any]] = fn

@@ -26,7 +26,8 @@ floating-point association of the original code are preserved exactly
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Protocol, Tuple
+from typing import Dict, List, Protocol, Tuple
+
 
 from repro.link.frame import AckFrame, Frame, JamFrame
 from repro.phy.channel import _CACHE_MAX as _CHANNEL_CACHE_MAX
@@ -91,7 +92,7 @@ class MediumParticipant(Protocol):
 class _Transmission:
     __slots__ = ("sender", "frame", "power_dbm", "start", "end")
 
-    def __init__(self, sender: int, frame: Frame, power_dbm: float, start: float, end: float):
+    def __init__(self, sender: int, frame: Frame, power_dbm: float, start: float, end: float) -> None:
         self.sender = sender
         self.frame = frame
         self.power_dbm = power_dbm

@@ -9,9 +9,9 @@ and the sink recorder.  ``run()`` executes it and returns a
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.estimator import EstimatorConfig, HybridLinkEstimator
 from repro.estimators.presets import PRESETS
@@ -19,7 +19,8 @@ from repro.link.mac import Mac
 from repro.metrics.collection_stats import CollectionResult, compute_result
 from repro.net.ctp.protocol import CtpConfig, CtpProtocol
 from repro.net.multihoplqi import MhlqiConfig, MultiHopLqi
-from repro.phy.channel import ChannelModel, PathLossModel
+from repro.phy.channel import ChannelModel
+
 from repro.phy.noise import MarkovInterferer, INTERFERER_ID_BASE, apply_hardware_variation
 from repro.phy.radio import CC2420, Radio, RadioParams
 from repro.phy.white_bit import LqiWhiteBit, NeverWhiteBit, SnrWhiteBit
@@ -194,7 +195,9 @@ class CollectionNetwork:
             if is_root:
                 self._wire_sink(protocol)
 
-    def _build_stack(self, mac: Mac, nid: int, is_root: bool):
+    def _build_stack(
+        self, mac: Mac, nid: int, is_root: bool
+    ) -> Tuple[Any, Optional[HybridLinkEstimator]]:
         name = self.config.protocol
         radio_params = self.config.radio_params
         if name == "mhlqi":
@@ -227,7 +230,7 @@ class CollectionNetwork:
         )
         return protocol, estimator
 
-    def _wire_sink(self, protocol) -> None:
+    def _wire_sink(self, protocol: Any) -> None:
         if hasattr(protocol, "forwarding"):
             protocol.forwarding.on_deliver = self.sink.on_deliver
         else:

@@ -56,7 +56,11 @@ import os
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+    from repro.sim.network import CollectionNetwork
 
 #: JSON keys reserved for the record envelope; field names must avoid them.
 RESERVED_KEYS = ("t", "kind", "node")
@@ -162,7 +166,7 @@ class JsonlSink:
     def __enter__(self) -> "JsonlSink":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -249,10 +253,10 @@ class Tracer:
             and t0 <= r.time <= t1
         ]
 
-    def count(self, **kwargs) -> int:
+    def count(self, **kwargs: Any) -> int:
         return len(self.filter(**kwargs))
 
-    def render(self, limit: int = 100, **filter_kwargs) -> str:
+    def render(self, limit: int = 100, **filter_kwargs: Any) -> str:
         rows = self.filter(**filter_kwargs)[:limit]
         lines = [f"{r.time:10.3f}s  node {r.node:<4} {r.kind:<14} {r.detail}" for r in rows]
         if self.dropped:
@@ -318,7 +322,7 @@ class Tracer:
 # Network instrumentation
 # ---------------------------------------------------------------------------
 def instrument_network(
-    network,
+    network: "CollectionNetwork",
     kinds: Optional[Set[str]] = None,
     max_records: Optional[int] = 100_000,
     keep: str = "head",
@@ -353,7 +357,7 @@ def instrument_network(
     return tracer
 
 
-def _hook_parent_changes(tracer: Tracer, engine, node) -> None:
+def _hook_parent_changes(tracer: Tracer, engine: "Engine", node: Any) -> None:
     protocol = node.protocol
     routing = getattr(protocol, "routing", protocol)
     if not hasattr(routing, "update_route"):
@@ -377,11 +381,11 @@ def _hook_parent_changes(tracer: Tracer, engine, node) -> None:
     routing.update_route = wrapped
 
 
-def _hook_mac(tracer: Tracer, engine, node) -> None:
+def _hook_mac(tracer: Tracer, engine: "Engine", node: Any) -> None:
     mac = node.mac
     original = mac.on_send_done
 
-    def wrapped(frame, result) -> None:
+    def wrapped(frame: Any, result: Any) -> None:
         if not frame.is_broadcast:
             if result.sent:
                 tracer.emit(
@@ -406,13 +410,13 @@ def _hook_mac(tracer: Tracer, engine, node) -> None:
     mac.on_send_done = wrapped
 
 
-def _hook_phy(tracer: Tracer, engine, node) -> None:
+def _hook_phy(tracer: Tracer, engine: "Engine", node: Any) -> None:
     """Trace every decoded frame with its PHY measurements (the layer the
     white bit is derived from)."""
     mac = node.mac
     original = mac.on_frame_received
 
-    def wrapped(frame, info) -> None:
+    def wrapped(frame: Any, info: Any) -> None:
         # Acks are link-layer bookkeeping; everything else is a reception
         # whose SNR/LQI/white-bit measurements are worth recording.
         if not getattr(frame, "is_ack", False):
@@ -430,7 +434,7 @@ def _hook_phy(tracer: Tracer, engine, node) -> None:
     mac.on_frame_received = wrapped
 
 
-def _hook_boot(tracer: Tracer, engine, node) -> None:
+def _hook_boot(tracer: Tracer, engine: "Engine", node: Any) -> None:
     protocol = node.protocol
     original = protocol.start
 
@@ -454,7 +458,7 @@ _REJECT_REASONS = (
 )
 
 
-def _hook_estimator(tracer: Tracer, engine, node) -> None:
+def _hook_estimator(tracer: Tracer, engine: "Engine", node: Any) -> None:
     """Trace the four-bit table events: insertions (and which policy
     admitted them), rejections (and which bit blocked them), pin/unpin."""
     est = node.estimator
@@ -463,7 +467,7 @@ def _hook_estimator(tracer: Tracer, engine, node) -> None:
     stats = est.stats
     original_insert = est._try_insert
 
-    def wrapped_insert(frame, info):
+    def wrapped_insert(frame: Any, info: Any) -> Any:
         before = {name: getattr(stats, name) for name, _ in _INSERT_MODES + _REJECT_REASONS}
         entry = original_insert(frame, info)
         if entry is not None:
@@ -500,7 +504,7 @@ def _hook_estimator(tracer: Tracer, engine, node) -> None:
     est.unpin = wrapped_unpin
 
 
-def _hook_forwarding(tracer: Tracer, engine, node) -> None:
+def _hook_forwarding(tracer: Tracer, engine: "Engine", node: Any) -> None:
     """Trace datapath drops (retries exhausted / queue full) as they happen."""
     forwarding = getattr(node.protocol, "forwarding", None)
     if forwarding is None:
@@ -508,7 +512,7 @@ def _hook_forwarding(tracer: Tracer, engine, node) -> None:
     stats = forwarding.stats
     original_send_done = forwarding.on_send_done
 
-    def wrapped_send_done(frame, sent, acked) -> None:
+    def wrapped_send_done(frame: Any, sent: bool, acked: bool) -> None:
         before = stats.drops_retries
         queue_head = forwarding._queue[0] if forwarding._queue else None
         original_send_done(frame, sent, acked)
@@ -521,7 +525,7 @@ def _hook_forwarding(tracer: Tracer, engine, node) -> None:
 
     original_rx = forwarding.on_data_received
 
-    def wrapped_rx(frame) -> None:
+    def wrapped_rx(frame: Any) -> None:
         before = stats.drops_queue_full
         original_rx(frame)
         if stats.drops_queue_full != before:
@@ -532,11 +536,13 @@ def _hook_forwarding(tracer: Tracer, engine, node) -> None:
     forwarding.on_data_received = wrapped_rx
 
 
-def _hook_sink(tracer: Tracer, network) -> None:
+def _hook_sink(tracer: Tracer, network: "CollectionNetwork") -> None:
     sink = network.sink
     original = sink.on_deliver
 
-    def wrapped(origin: int, seq: int, thl: int, time: float, origin_time=None) -> None:
+    def wrapped(
+        origin: int, seq: int, thl: int, time: float, origin_time: Optional[float] = None
+    ) -> None:
         tracer.emit(time, "deliver", origin, seq=seq, hops=thl + 1)
         original(origin, seq, thl, time, origin_time)
 
@@ -554,7 +560,7 @@ def _hook_sink(tracer: Tracer, network) -> None:
 # ---------------------------------------------------------------------------
 # ETX ground truth + periodic sampling
 # ---------------------------------------------------------------------------
-def true_link_etx(network, src: int, dst: int, data_bytes: int = 44) -> float:
+def true_link_etx(network: "CollectionNetwork", src: int, dst: int, data_bytes: int = 44) -> float:
     """Ground-truth acknowledged-delivery ETX of the (src → dst) link from
     the channel's mean gains: the data frame must survive forward and the
     L2 ack must survive the reverse direction."""
@@ -574,7 +580,7 @@ def true_link_etx(network, src: int, dst: int, data_bytes: int = 44) -> float:
     return 1.0 / p
 
 
-def _schedule_etx_sampling(tracer: Tracer, network, period_s: float) -> None:
+def _schedule_etx_sampling(tracer: Tracer, network: "CollectionNetwork", period_s: float) -> None:
     engine = network.engine
 
     def sample() -> None:
@@ -604,7 +610,7 @@ def _schedule_etx_sampling(tracer: Tracer, network, period_s: float) -> None:
 # ---------------------------------------------------------------------------
 # End-of-run stats records
 # ---------------------------------------------------------------------------
-def _stats_fields(stats) -> Dict[str, Any]:
+def _stats_fields(stats: Any) -> Dict[str, Any]:
     import dataclasses
 
     out: Dict[str, Any] = {}
@@ -616,7 +622,7 @@ def _stats_fields(stats) -> Dict[str, Any]:
     return out
 
 
-def _emit_stats_records(tracer: Tracer, network) -> None:
+def _emit_stats_records(tracer: Tracer, network: "CollectionNetwork") -> None:
     """One ``stats`` record per node per layer, at run end.
 
     This is what makes an exported trace self-contained: the offline CLI

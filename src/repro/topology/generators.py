@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import math
-import random
-from dataclasses import dataclass, field
+from random import Random
+from dataclasses import dataclass
+
 from typing import Dict, List, Optional, Tuple
 
 Position = Tuple[float, float]
@@ -43,7 +44,7 @@ def grid(
     nx: int,
     ny: int,
     spacing_m: float,
-    rng: Optional[random.Random] = None,
+    rng: Optional[Random] = None,
     jitter_m: float = 0.0,
     name: str = "grid",
     sink: str = "corner",
@@ -75,7 +76,7 @@ def random_uniform(
     n: int,
     width_m: float,
     height_m: float,
-    rng: random.Random,
+    rng: Random,
     name: str = "uniform",
     sink: str = "corner",
     min_separation_m: float = 0.5,

@@ -19,9 +19,11 @@ realistic degree distribution — rather than exact geometry.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from random import Random
+from dataclasses import dataclass
+
+from typing import Optional, Tuple
+
 
 from repro.phy.channel import PathLossModel
 from repro.topology.generators import Topology, random_uniform
@@ -62,7 +64,7 @@ class TestbedProfile:
     interferers: Tuple[InterfererSpec, ...] = ()
 
     def topology(self, seed: int) -> Topology:
-        rng = random.Random(seed)
+        rng = Random(seed)
         return random_uniform(
             self.n_nodes,
             self.width_m,

@@ -8,8 +8,9 @@ network-wide packet synchronization — both straight from Section 4.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from random import Random
+from dataclasses import dataclass
+
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.sim.engine import Engine
@@ -35,7 +36,7 @@ class CollectionSource:
         engine: Engine,
         node_id: int,
         send_fn: Callable[[], bool],
-        rng: random.Random,
+        rng: Random,
         config: WorkloadConfig,
     ) -> None:
         self.engine = engine

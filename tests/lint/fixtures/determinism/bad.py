@@ -1,0 +1,46 @@
+"""D001 bad fixture: every forbidden nondeterminism source in one file."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+from random import randint
+
+
+def draw():
+    return random.random()
+
+
+def shuffle(items):
+    random.shuffle(items)
+    return items
+
+
+def stamp():
+    return time.time()
+
+
+def born():
+    return datetime.now()
+
+
+def token():
+    return os.urandom(4)
+
+
+def ident():
+    return uuid.uuid4()
+
+
+def jitter():
+    return randint(0, 10)
+
+
+def visit(nodes):
+    out = []
+    for node in {1, 2, 3}:
+        out.append(node)
+    for node in set(nodes):
+        out.append(node)
+    return out + [n for n in frozenset(nodes)]

@@ -1,0 +1,22 @@
+"""D001 good fixture: the sanctioned patterns the rule must not flag."""
+
+from random import Random
+
+
+def draw(rng: Random) -> float:
+    return rng.random()
+
+
+def fresh_stream(seed: int) -> Random:
+    return Random(seed)
+
+
+def visit(nodes):
+    out = []
+    for node in sorted(set(nodes)):
+        out.append(node)
+    return out
+
+
+def over_list(items):
+    return [x for x in list(items)]

@@ -1,0 +1,17 @@
+"""H002 bad fixture: exact equality against non-trivial float literals."""
+
+
+def at_threshold(prr):
+    return prr == 0.3
+
+
+def not_at_threshold(etx):
+    return etx != 1.5
+
+
+def negative_literal(offset_db):
+    return offset_db == -2.5
+
+
+def chained(a, b):
+    return a == b == 0.7

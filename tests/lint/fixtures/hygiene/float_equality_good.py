@@ -1,0 +1,27 @@
+"""H002 good fixture: sentinels, tolerances, and non-float comparisons."""
+
+import math
+
+
+def is_zero(x):
+    return x == 0.0
+
+
+def is_unit(x):
+    return x == 1.0
+
+
+def is_unset(x):
+    return x == -1.0
+
+
+def near(x, target):
+    return math.isclose(x, target, rel_tol=1e-9)
+
+
+def int_compare(n):
+    return n == 3
+
+
+def ordering(x):
+    return x < 0.3

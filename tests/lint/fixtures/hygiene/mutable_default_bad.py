@@ -1,0 +1,23 @@
+"""H001 bad fixture: shared mutable default arguments."""
+
+
+def append(item, out=[]):
+    out.append(item)
+    return out
+
+
+def index(key, table={}):
+    return table.setdefault(key, len(table))
+
+
+def dedupe(items, seen=set()):
+    return [x for x in items if x not in seen]
+
+
+def built(items, out=list()):
+    out.extend(items)
+    return out
+
+
+def keyword_only(*, cache={}):
+    return cache

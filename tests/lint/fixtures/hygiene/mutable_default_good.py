@@ -1,0 +1,12 @@
+"""H001 good fixture: None defaults with construction inside the body."""
+
+
+def append(item, out=None):
+    if out is None:
+        out = []
+    out.append(item)
+    return out
+
+
+def scaled(value, factor=1.0, label="x", flag=False, limit=(1, 2)):
+    return value * factor if flag else value

@@ -1,0 +1,10 @@
+"""H003 bad fixture: imports nothing references."""
+
+import json
+import os.path
+from math import sqrt
+from typing import Dict as Mapping
+
+
+def double(x):
+    return 2 * x

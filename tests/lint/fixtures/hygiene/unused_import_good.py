@@ -1,0 +1,19 @@
+"""H003 good fixture: real uses, __all__ re-exports, and quoted annotations."""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:
+    from decimal import Decimal
+
+__all__ = ["hypotenuse", "List"]
+
+
+def hypotenuse(a: float, b: float) -> float:
+    return math.hypot(a, b)
+
+
+def quantize(value: "Decimal", places: "List[int]") -> "Decimal":
+    return value

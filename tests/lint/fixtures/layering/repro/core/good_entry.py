@@ -1,0 +1,9 @@
+"""L001 good fixture (core layer): the sanctioned link entry point + contract."""
+
+from repro.core.neighbor_table import NeighborTable
+from repro.link.frame import Frame, le_wrap
+from repro.link.mac import Mac
+
+
+def build(mac: Mac) -> tuple:
+    return NeighborTable, Frame, le_wrap

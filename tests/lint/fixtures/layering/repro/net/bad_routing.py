@@ -1,0 +1,11 @@
+"""L001 bad fixture (net layer): every class of illegal cross-layer import."""
+
+from repro.core.estimator import HybridLinkEstimator  # concrete type, not the contract
+from repro.link.mac import Mac  # net skipping down into link
+from repro.phy.lqi import LqiModel  # net skipping down into phy
+
+import repro.phy.channel
+
+
+def build(engine):
+    return HybridLinkEstimator, Mac, LqiModel, repro.phy.channel

@@ -1,0 +1,21 @@
+"""L001 good fixture (net layer): couples only through the sanctioned seams."""
+
+from repro.core.interfaces import CompareBitProvider, EstimatorClient, LinkEstimator
+from repro.link.frame import BROADCAST, NetworkFrame
+from repro.net.ctp.frames import CtpDataFrame
+from repro.sim.engine import Engine
+from repro.sim.packets import RxInfo
+from repro.sim.rng import RngManager
+
+
+def build(estimator: LinkEstimator) -> tuple:
+    return (
+        CompareBitProvider,
+        EstimatorClient,
+        BROADCAST,
+        NetworkFrame,
+        CtpDataFrame,
+        Engine,
+        RxInfo,
+        RngManager,
+    )

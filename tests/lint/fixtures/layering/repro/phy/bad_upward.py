@@ -1,0 +1,7 @@
+"""L001 bad fixture (phy layer): imports upward into net."""
+
+from repro.net.ctp.routing import CtpRoutingEngine
+
+
+def peek(engine):
+    return CtpRoutingEngine

@@ -1,0 +1,24 @@
+"""S001 bad fixture: stats dataclasses that drift from the obs bridge."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OrphanStats:
+    """No METRICS_PREFIX, no register_into at all."""
+
+    frames_sent: int = 0
+    frames_lost: int = 0
+
+
+@dataclass
+class PartialStats:
+    """Bridges one field manually, forgets the other."""
+
+    METRICS_PREFIX = "link.partial"
+
+    acked: int = 0
+    dropped: int = 0
+
+    def register_into(self, registry, **labels):
+        registry.counter("link.partial.acked", lambda: self.acked, **labels)

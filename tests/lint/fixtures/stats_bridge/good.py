@@ -1,0 +1,45 @@
+"""S001 good fixture: both sanctioned bridging styles, plus out-of-scope classes."""
+
+from dataclasses import dataclass
+
+from repro.obs.bridge import register_dataclass_counters
+
+
+@dataclass
+class WholesaleStats:
+    """Delegates to the helper: every numeric field covered by construction."""
+
+    METRICS_PREFIX = "phy.wholesale"
+
+    frames_sent: int = 0
+    frames_lost: int = 0
+
+    def register_into(self, registry, **labels):
+        register_dataclass_counters(registry, self.METRICS_PREFIX, self, **labels)
+
+
+@dataclass
+class ManualStats:
+    """Registers each field with an explicit metric-name literal."""
+
+    METRICS_PREFIX = "link.manual"
+
+    acked: int = 0
+    dropped: int = 0
+
+    def register_into(self, registry, **labels):
+        registry.counter("link.manual.acked", lambda: self.acked, **labels)
+        registry.counter("link.manual.dropped", lambda: self.dropped, **labels)
+
+
+@dataclass
+class NoCountersStats:
+    """No numeric fields: nothing to bridge."""
+
+    label: str = ""
+
+
+class PlainStats:
+    """Not a dataclass: out of the rule's scope."""
+
+    packets: int = 0

@@ -1,0 +1,17 @@
+"""U001 bad fixture: log-domain and linear-domain powers mixed directly."""
+
+
+def total_power(signal_dbm: float, noise_mw: float) -> float:
+    return signal_dbm + noise_mw
+
+
+def margin(obj) -> float:
+    return obj.rssi_dbm - obj.noise_floor_mw
+
+
+def above_floor(power_db: float, floor_w: float) -> bool:
+    return power_db > floor_w
+
+
+def negated(tx_dbm: float, interference_mw: float) -> float:
+    return -tx_dbm + interference_mw

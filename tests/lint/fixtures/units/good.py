@@ -1,0 +1,21 @@
+"""U001 good fixture: domain-consistent arithmetic and explicit conversions."""
+
+
+def dbm_to_mw(value_dbm: float) -> float:
+    return 10.0 ** (value_dbm / 10.0)
+
+
+def link_budget(tx_dbm: float, loss_db: float) -> float:
+    return tx_dbm - loss_db
+
+
+def noise_sum(ambient_mw: float, interference_mw: float) -> float:
+    return ambient_mw + interference_mw
+
+
+def sinr_ok(signal_dbm: float, floor_mw: float) -> bool:
+    return dbm_to_mw(signal_dbm) > floor_mw
+
+
+def unrelated(count: int, offset: int) -> int:
+    return count + offset
