@@ -246,5 +246,29 @@ def macro_testbed(quick: bool = False) -> BenchResult:
     return _macro_result("macro_testbed", net, duration)
 
 
+@scenario
+def macro_chaos(quick: bool = False) -> BenchResult:
+    """4B collection under the ``reboot_storm`` fault preset with the
+    invariant checker on: the robustness layer's end-to-end cost."""
+    duration = 150.0 if quick else 480.0
+    topo = grid(5, 5, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=0.5)
+    config = SimConfig(
+        protocol="4b",
+        seed=3,
+        duration_s=duration,
+        warmup_s=60.0,
+        faults="reboot_storm",
+        check_invariants=True,
+        profile_events=True,
+    )
+    net = CollectionNetwork(topo, config)
+    res = _macro_result("macro_chaos", net, duration)
+    injector = net.fault_injector
+    assert injector is not None
+    res.check["node_crashes"] = injector.stats.node_crashes
+    res.check["node_reboots"] = injector.stats.node_reboots
+    return res
+
+
 MICRO = tuple(n for n, fn in SCENARIOS.items() if n.startswith("micro_"))
 MACRO = tuple(n for n, fn in SCENARIOS.items() if n.startswith("macro_"))

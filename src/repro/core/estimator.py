@@ -132,6 +132,9 @@ class EstimatorStats:
     rejected_all_pinned: int = 0
     unicast_samples: int = 0
     beacon_samples: int = 0
+    #: Sequence gaps ≥ ``reboot_gap`` treated as a neighbor reboot (window
+    #: *and* PRR history reset — stale pre-reboot PRR must not leak in).
+    reboot_resets: int = 0
 
     #: Metric name prefix (``layer.component``) in the obs registry.
     METRICS_PREFIX = "est.estimator"
@@ -228,6 +231,16 @@ class HybridLinkEstimator(LinkEstimator):
 
     def clear_pins(self) -> None:
         self.table.clear_pins()
+
+    def reset_state(self) -> None:
+        """Node reboot: lose all RAM state (table, sequence, footer rotation).
+
+        Stats survive — they count events across the node's lifetime, the
+        way a testbed's serial log would.
+        """
+        self.table.clear()
+        self._seq = 0
+        self._footer_rr = 0
 
     # ------------------------------------------------------------------
     # Datapath
@@ -347,6 +360,16 @@ class HybridLinkEstimator(LinkEstimator):
         if missed >= self.config.reboot_gap:
             entry.beacon_received = 0
             entry.beacon_missed = 0
+            # The neighbor rebooted (or was unreachable for an epoch): its
+            # pre-gap reception history describes a link state that no
+            # longer exists.  Keeping the old PRR EWMA would let the first
+            # post-reboot window fold into stale history and over-report
+            # PRR; the estimate must re-bootstrap from fresh windows.  The
+            # reverse-direction advertisement is equally stale — the
+            # rebooted neighbor lost the table slot it measured us with.
+            entry.prr_ewma = None
+            entry.prr_out = None
+            self.stats.reboot_resets += 1
             missed = 0
         entry.last_seq = seq
         entry.beacon_received += 1

@@ -145,6 +145,15 @@ class NeighborTable:
         self.evictions += 1
         return victim
 
+    def clear(self) -> None:
+        """Wipe every entry in place (node reboot: the RAM table is gone).
+
+        The instance survives so external references (instrumentation
+        wrappers, the estimator) stay valid; ``evictions`` keeps counting —
+        it tallies events, not state.
+        """
+        self._entries.clear()
+
     def remove(self, addr: int) -> bool:
         """Explicitly drop an entry (pinned or not).  Returns False if absent."""
         if addr in self._entries:

@@ -1,0 +1,54 @@
+"""Deterministic fault injection and invariant checking (``repro.faults``).
+
+The paper's core claim is that 4B stays accurate *under dynamics*: beacons
+re-bootstrap estimates after a node reboots, the pin bit protects routes
+under table pressure, and the ack bit tracks links that suddenly degrade.
+This package turns those dynamics into first-class, reproducible scenarios:
+
+* :mod:`repro.faults.schedule` — typed fault events (node crash/reboot,
+  link blackout, stepwise quality shifts, interference bursts) bundled in a
+  :class:`~repro.faults.schedule.FaultSchedule` that round-trips through
+  JSON and hashes canonically (cache keys stay correct).
+* :mod:`repro.faults.presets` — named scenario generators
+  (``reboot_storm``, ``table_pressure``, ``flaky_burst``) driven by the
+  run's own :class:`~repro.sim.rng.RngManager` streams, so a preset + seed
+  fully determines the schedule.
+* :mod:`repro.faults.injector` — applies a schedule to a built
+  :class:`~repro.sim.network.CollectionNetwork` through the engine's event
+  queue (``SimConfig(faults=...)`` wires it automatically).
+* :mod:`repro.faults.invariants` — a checker that runs alongside any
+  simulation and asserts structural properties at fault boundaries and on a
+  periodic timer (``SimConfig(check_invariants=True)``).
+
+Determinism contract: every random draw comes from dedicated
+``("faults", ...)`` RNG streams, so enabling faults never perturbs the
+draws of a fault-free run, and two runs of the same seed + schedule are
+bit-identical (D001 applies to this package).
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.presets import PRESET_NAMES, resolve_schedule
+from repro.faults.schedule import (
+    FaultSchedule,
+    InterferenceBurst,
+    LinkBlackout,
+    NodeCrash,
+    NodeReboot,
+    QualityShift,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultStats",
+    "FaultSchedule",
+    "InterferenceBurst",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LinkBlackout",
+    "NodeCrash",
+    "NodeReboot",
+    "PRESET_NAMES",
+    "QualityShift",
+    "resolve_schedule",
+]

@@ -1,0 +1,208 @@
+"""Structural invariants checked while a simulation runs.
+
+The checker piggybacks on any :class:`~repro.sim.network.CollectionNetwork`
+(``SimConfig(check_invariants=True)``) and asserts, at fault boundaries, on
+a periodic timer, and once at the end of the run:
+
+1. **Pin guarantee** — an entry the network layer pinned is never evicted
+   from the estimator's neighbor table (only enforced for estimators whose
+   config honors the pin bit).  Tracked via ``pin``/``unpin`` wraps, so a
+   broken eviction policy is caught even though it deletes entries behind
+   the table API's back.
+2. **ETX sanity** — every mature estimate is finite and in
+   ``[1, max_etx_sample]`` (one transmission is the physical floor; samples
+   are capped, and an EWMA of capped samples cannot escape the cap).
+3. **Dead nodes are silent** — a node between crash and reboot never puts a
+   frame on the air (checked at ``medium.start_transmission``, so a missing
+   cancel anywhere in the MAC shows up immediately).
+4. **Loop-free routing at quiescence** — at the end of the run the parent
+   graph contains no cycle (transient mid-run loops are legal; CTP's cost
+   gradient repairs them).
+
+All checks are read-only and consume no RNG, so enabling the checker never
+changes simulated behavior — only the engine's event count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Dict, List, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.estimator import HybridLinkEstimator
+    from repro.sim.network import CollectionNetwork
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant failed.  The simulation is not trustworthy."""
+
+
+class InvariantChecker:
+    """Asserts structural properties of a running collection network."""
+
+    def __init__(self, network: "CollectionNetwork", period_s: float = 15.0) -> None:
+        self.network = network
+        self.period_s = period_s
+        self.checks_run = 0
+        #: Violation messages seen so far (the first one also raises).
+        self.violations: List[str] = []
+        #: Per node: addresses the network layer currently has pinned.
+        self._expected_pins: Dict[int, Set[int]] = {
+            nid: set() for nid in sorted(network.nodes)
+        }
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Wrap the hooks and schedule the periodic + final checks."""
+        if self._installed:
+            return
+        self._installed = True
+        network = self.network
+        for nid in sorted(network.nodes):
+            estimator = network.nodes[nid].estimator
+            if estimator is not None and estimator.config.honor_pin_bit:
+                self._wrap_pins(nid, estimator)
+        injector = network.fault_injector
+        if injector is not None:
+            injector.on_event.append(self._on_fault_event)
+            self._wrap_transmissions()
+        t = self.period_s
+        while t < network.config.duration_s:
+            network.engine.schedule_at(t, self._periodic)
+            t += self.period_s
+        network.on_run_end.append(self._final)
+
+    def _wrap_pins(self, nid: int, estimator: "HybridLinkEstimator") -> None:
+        expected = self._expected_pins[nid]
+        orig_pin = estimator.pin
+        orig_unpin = estimator.unpin
+
+        def pin(neighbor: int) -> bool:
+            ok = orig_pin(neighbor)
+            if ok:
+                expected.add(neighbor)
+            return ok
+
+        def unpin(neighbor: int) -> bool:
+            expected.discard(neighbor)
+            return orig_unpin(neighbor)
+
+        estimator.pin = pin  # type: ignore[method-assign]
+        estimator.unpin = unpin  # type: ignore[method-assign]
+
+        orig_remove = estimator.table.remove
+
+        def remove(addr: int) -> bool:
+            if addr in expected:
+                self._fail(f"node {nid}: pinned entry {addr} explicitly removed")
+            return orig_remove(addr)
+
+        estimator.table.remove = remove  # type: ignore[method-assign]
+
+    def _wrap_transmissions(self) -> None:
+        injector = self.network.fault_injector
+        assert injector is not None
+        medium = self.network.medium
+        orig_start = medium.start_transmission
+        crashed = injector.crashed
+
+        def start_transmission(sender_id: int, frame: Any) -> float:
+            if sender_id in crashed:
+                self._fail(
+                    f"dead node {sender_id} transmitted {type(frame).__name__} "
+                    f"at t={self.network.engine.now:.6f}"
+                )
+            return orig_start(sender_id, frame)
+
+        medium.start_transmission = start_transmission  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # Triggers
+    # ------------------------------------------------------------------
+    def _on_fault_event(self, kind: str, now: float, fields: Dict[str, Any]) -> None:
+        if kind in ("crash", "reboot"):
+            # The node's RAM (and thus every pin it held) is gone; the
+            # expectation resets with it.
+            self._expected_pins[fields["node"]].clear()
+        self.check_now()
+
+    def _periodic(self) -> None:
+        self.check_now()
+
+    def _final(self, network: "CollectionNetwork") -> None:
+        self.check_now(final=True)
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def check_now(self, final: bool = False) -> None:
+        """Run every applicable invariant; raise on the first batch of
+        failures (also recorded in :attr:`violations`)."""
+        self.checks_run += 1
+        failures: List[str] = []
+        self._check_pins(failures)
+        self._check_etx(failures)
+        if final:
+            self._check_loops(failures)
+        if failures:
+            self.violations.extend(failures)
+            raise InvariantViolation("; ".join(failures))
+
+    def _check_pins(self, failures: List[str]) -> None:
+        for nid in sorted(self._expected_pins):
+            expected = self._expected_pins[nid]
+            if not expected:
+                continue
+            estimator = self.network.nodes[nid].estimator
+            assert estimator is not None  # only estimator nodes are tracked
+            for addr in sorted(expected):
+                entry = estimator.table.find(addr)
+                if entry is None:
+                    failures.append(
+                        f"node {nid}: pinned entry {addr} was evicted from the table"
+                    )
+                elif not entry.pinned:
+                    failures.append(
+                        f"node {nid}: entry {addr} lost its pin bit without an unpin"
+                    )
+
+    def _check_etx(self, failures: List[str]) -> None:
+        for nid in sorted(self.network.nodes):
+            estimator = self.network.nodes[nid].estimator
+            if estimator is None:
+                continue
+            cap = estimator.config.max_etx_sample + 1e-9
+            for entry in sorted(estimator.table, key=lambda e: e.addr):
+                if not entry.mature:
+                    continue
+                etx = entry.etx
+                if math.isnan(etx) or math.isinf(etx):
+                    failures.append(f"node {nid}: ETX for {entry.addr} is {etx}")
+                elif etx < 1.0 - 1e-9:
+                    failures.append(
+                        f"node {nid}: ETX for {entry.addr} is {etx:.4f} < 1"
+                    )
+                elif etx > cap:
+                    failures.append(
+                        f"node {nid}: ETX for {entry.addr} is {etx:.4f} > sample cap"
+                    )
+
+    def _check_loops(self, failures: List[str]) -> None:
+        parents = self.network.parent_map()
+        roots = set(self.network.roots)
+        for nid in sorted(parents):
+            cursor = parents.get(nid)
+            seen = {nid}
+            while cursor is not None and cursor not in roots:
+                if cursor in seen:
+                    failures.append(f"routing loop through node {cursor} at quiescence")
+                    break
+                seen.add(cursor)
+                cursor = parents.get(cursor)
+
+    def _fail(self, message: str) -> None:
+        self.violations.append(message)
+        raise InvariantViolation(message)

@@ -198,6 +198,33 @@ class Mac:
             acked_frame_id=frame.frame_id,
         )
         self.stats.acks_sent += 1
-        self.engine.schedule(
-            self.radio.params.turnaround_s, self.medium.start_transmission, self.node_id, ack
-        )
+        self.engine.schedule(self.radio.params.turnaround_s, self._transmit_ack, ack)
+
+    def _transmit_ack(self, ack: AckFrame) -> None:
+        # The turnaround delay opens a window for a crash between scheduling
+        # and transmission; a dead radio must not put the ack on the air.
+        if self.enabled:
+            self.medium.start_transmission(self.node_id, ack)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Node crash: drop in-flight state, stop sending and receiving.
+
+        No ``on_send_done`` callback fires for the abandoned frame — a
+        crashed node cannot report anything.  Safe to call twice.
+        """
+        self.enabled = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        self._current = None
+        self._backoff = None
+
+    def restart(self) -> None:
+        """Node reboot: the radio comes back with an empty transmit buffer."""
+        self.enabled = True

@@ -42,6 +42,7 @@ DETERMINISTIC_PACKAGES = (
     "repro.estimators",
     "repro.topology",
     "repro.metrics",
+    "repro.faults",
 )
 
 #: Wall-clock-measuring harness code, exempt by design.

@@ -34,6 +34,7 @@ LAYER_PACKAGES = (
     "repro.net",
     "repro.sim",
     "repro.workloads",
+    "repro.faults",
 )
 
 NUMERIC_ANNOTATIONS = {"int", "float"}

@@ -209,6 +209,21 @@ class CtpForwardingEngine:
         self._pump_soon(self.rng.uniform(self.config.retry_min_s, self.config.retry_max_s))
 
     # ------------------------------------------------------------------
+    def fault_shutdown(self) -> None:
+        """Node crash: the queue and duplicate cache are RAM — gone.
+
+        ``_seq`` deliberately survives: the sink deduplicates on
+        ``(origin, seq)``, so restarting the sequence at 0 would alias the
+        reboot's packets with pre-crash deliveries and deflate the measured
+        delivery ratio.  (Real motes persist a seed or use boot counters
+        for the same reason.)  Any pending ``_pump`` event drains harmlessly
+        against the empty queue.
+        """
+        self._queue.clear()
+        self._sending = False
+        self._dup_cache.clear()
+
+    # ------------------------------------------------------------------
     @property
     def queue_length(self) -> int:
         return len(self._queue)

@@ -79,6 +79,19 @@ class CtpProtocol(EstimatorClient):
         """Boot the stack (start the Trickle beacon timer)."""
         self.routing.start()
 
+    def fault_shutdown(self) -> None:
+        """Node crash: drop all RAM state in routing and forwarding.
+
+        The MAC and estimator are shut down separately by the fault
+        injector (they belong to other layers).
+        """
+        self.routing.fault_shutdown()
+        self.forwarding.fault_shutdown()
+
+    def fault_restart(self) -> None:
+        """Node reboot: bring the stack back with no route, like a boot."""
+        self.routing.fault_restart()
+
     @property
     def is_root(self) -> bool:
         """Whether this node is a collection sink."""

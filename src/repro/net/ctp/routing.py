@@ -95,6 +95,9 @@ class CtpRoutingEngine(CompareBitProvider):
         self._had_route = is_root
         self._pull_pending = False
         self._beacon_retry_pending = False
+        #: Failure injection: a crashed routing engine neither beacons nor
+        #: keeps route state (see :meth:`fault_shutdown`).
+        self.enabled = True
         #: Forwarding engine hooks this to pump its queue when a route appears.
         self.on_route_found: Optional[Callable[[], None]] = None
         self.trickle = TrickleTimer(
@@ -109,6 +112,31 @@ class CtpRoutingEngine(CompareBitProvider):
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
+        self.trickle.start()
+
+    def fault_shutdown(self) -> None:
+        """Node crash: stop beaconing and lose all RAM route state.
+
+        The parent is dropped *without* unpinning — the estimator's table
+        (which holds the pin) is wiped by the same crash, so there is no
+        entry left to unpin; going through ``_set_parent(None)`` would
+        touch a dead table.
+        """
+        self.enabled = False
+        self.trickle.stop()
+        self.route_info.clear()
+        self.parent = None
+        self._had_route = self.is_root
+        self._pull_pending = False
+
+    def fault_restart(self) -> None:
+        """Node reboot: come back with no route and re-bootstrap.
+
+        ``trickle.start()`` restarts at ``i_min`` — exactly a booting node.
+        A ``_beacon_retry`` scheduled before the crash may still fire, but
+        the retry path is harmless post-reboot (it just beacons).
+        """
+        self.enabled = True
         self.trickle.start()
 
     # ------------------------------------------------------------------
@@ -197,6 +225,11 @@ class CtpRoutingEngine(CompareBitProvider):
     # Beacons
     # ------------------------------------------------------------------
     def _send_beacon(self) -> None:
+        if not self.enabled:
+            # Crashed.  Without this guard a failed send (MAC disabled)
+            # would self-sustain the ~30 ms retry chain for the whole
+            # outage, burning events and RNG draws from a dead node.
+            return
         self.update_route()
         frame = make_routing_frame(
             src=self.node_id,

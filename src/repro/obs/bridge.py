@@ -65,4 +65,11 @@ def network_metrics(
     registry.counter("sim.engine.events_run").inc(network.engine.events_run)
     registry.gauge("sim.engine.pending").set(network.engine.pending)
     registry.gauge("sim.engine.now_s").set(network.engine.now)
+    injector = getattr(network, "fault_injector", None)
+    if injector is not None:
+        injector.register_metrics(registry)
+    checker = getattr(network, "invariant_checker", None)
+    if checker is not None:
+        registry.counter("faults.invariants.checks_run").inc(checker.checks_run)
+        registry.counter("faults.invariants.violations").inc(len(checker.violations))
     return registry

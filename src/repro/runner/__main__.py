@@ -63,6 +63,20 @@ def main(argv=None) -> int:
         action="store_true",
         help="profile the event loop in every run and report where time went",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PRESET|FILE",
+        help="inject faults: a preset name (e.g. reboot_storm) or a JSON "
+        "scenario file; implies --collect-metrics so faults.* counters "
+        "surface in the summary",
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run the invariant checker in every run (fails loudly on a "
+        "violated structural property)",
+    )
     args = parser.parse_args(argv)
 
     if args.clear_cache:
@@ -85,6 +99,24 @@ def main(argv=None) -> int:
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     powers = [float(p) for p in args.powers.split(",") if p.strip()]
     overrides = {"profile_events": True} if args.profile_events else {}
+    if args.faults is not None:
+        from repro.faults.presets import PRESET_NAMES
+        from repro.faults.schedule import FaultSchedule
+
+        if args.faults in PRESET_NAMES:
+            overrides["faults"] = args.faults
+        elif Path(args.faults).exists():
+            # File scenarios are loaded here so the cache key reflects the
+            # schedule's *content*, not the path it happened to live at.
+            overrides["faults"] = FaultSchedule.from_json_file(args.faults)
+        else:
+            parser.error(
+                f"--faults {args.faults!r}: not a preset {PRESET_NAMES} "
+                f"and no such file"
+            )
+        overrides["collect_metrics"] = True
+    if args.check_invariants:
+        overrides["check_invariants"] = True
     cells = [
         Cell.make(proto, label=f"{proto} @{power:+.0f}dBm", tx_power_dbm=power, **overrides)
         for power in powers
@@ -105,6 +137,16 @@ def main(argv=None) -> int:
     if not args.quiet:
         for result in averaged:
             print(result.summary_row(), file=rows_out)
+        if args.faults is not None:
+            totals = {}
+            for result in averaged:
+                for run in result.runs:
+                    for key, value in (run.metrics or {}).items():
+                        name = key.split("{", 1)[0]
+                        if name.startswith("faults."):
+                            totals[name] = totals.get(name, 0) + value
+            for name in sorted(totals):
+                print(f"  {name} = {totals[name]:g}", file=rows_out)
         print(runner.stats.summary(), file=sys.stderr)
         if args.profile_events:
             print(runner.stats.profile_report(), file=sys.stderr)

@@ -23,7 +23,9 @@ from typing import Any
 
 #: Bump to invalidate every cached result at once (e.g. after a simulator
 #: change that alters outputs without changing any config value).
-CACHE_SCHEMA_VERSION = 1
+#: 2: estimator reboot detection resets the PRR history (stale sequence
+#: numbers no longer inflate PRR), changing results for any config.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _frame(raw: bytes) -> bytes:

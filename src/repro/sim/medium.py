@@ -26,7 +26,7 @@ floating-point association of the original code are preserved exactly
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Protocol, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple
 
 
 from repro.link.frame import AckFrame, Frame, JamFrame
@@ -89,6 +89,90 @@ class MediumParticipant(Protocol):
         ...
 
 
+class MediumFaultState:
+    """Fault overlays the injector applies to the medium.
+
+    Kept out of the hot path until enabled: ``RadioMedium._faults`` is
+    ``None`` in fault-free runs, so the reception loop's single ``is None``
+    check is the entire cost and results stay bit-identical.
+
+    Blackouts are reference-counted per scope so overlapping windows nest
+    correctly; quality shifts are cumulative dB offsets.  ``None`` scope
+    arguments mean "all nodes" (see :class:`repro.faults.schedule`).
+    """
+
+    def __init__(self) -> None:
+        self._blackout_all = 0
+        self._blackout_nodes: Dict[int, int] = {}
+        self._blackout_pairs: Dict[Tuple[int, int], int] = {}
+        self._global_offset = 0.0
+        self._node_offset: Dict[int, float] = {}
+        self._pair_offset: Dict[Tuple[int, int], float] = {}
+        #: Receptions suppressed by a blackout window (telemetry).
+        self.blackout_drops = 0
+
+    @staticmethod
+    def _pair(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def blackout_start(self, a: Optional[int] = None, b: Optional[int] = None) -> None:
+        if a is None and b is None:
+            self._blackout_all += 1
+        elif a is not None and b is not None:
+            key = self._pair(a, b)
+            self._blackout_pairs[key] = self._blackout_pairs.get(key, 0) + 1
+        else:
+            node = a if a is not None else b
+            assert node is not None
+            self._blackout_nodes[node] = self._blackout_nodes.get(node, 0) + 1
+
+    def blackout_end(self, a: Optional[int] = None, b: Optional[int] = None) -> None:
+        if a is None and b is None:
+            self._blackout_all -= 1
+        elif a is not None and b is not None:
+            key = self._pair(a, b)
+            self._blackout_pairs[key] -= 1
+            if self._blackout_pairs[key] == 0:
+                del self._blackout_pairs[key]
+        else:
+            node = a if a is not None else b
+            assert node is not None
+            self._blackout_nodes[node] -= 1
+            if self._blackout_nodes[node] == 0:
+                del self._blackout_nodes[node]
+
+    def shift(self, delta_db: float, a: Optional[int] = None, b: Optional[int] = None) -> None:
+        if a is None and b is None:
+            self._global_offset += delta_db
+        elif a is not None and b is not None:
+            key = self._pair(a, b)
+            self._pair_offset[key] = self._pair_offset.get(key, 0.0) + delta_db
+        else:
+            node = a if a is not None else b
+            assert node is not None
+            self._node_offset[node] = self._node_offset.get(node, 0.0) + delta_db
+
+    def offset_for(self, sid: int, rid: int) -> Optional[float]:
+        """Gain offset (dB) for the ``sid → rid`` link, or ``None`` while a
+        blackout window covers it (the frame is undecodable)."""
+        if self._blackout_all:
+            return None
+        nodes = self._blackout_nodes
+        if nodes and (sid in nodes or rid in nodes):
+            return None
+        pairs = self._blackout_pairs
+        if pairs and self._pair(sid, rid) in pairs:
+            return None
+        offset = self._global_offset
+        node_off = self._node_offset
+        if node_off:
+            offset += node_off.get(sid, 0.0) + node_off.get(rid, 0.0)
+        pair_off = self._pair_offset
+        if pair_off:
+            offset += pair_off.get(self._pair(sid, rid), 0.0)
+        return offset
+
+
 class _Transmission:
     __slots__ = ("sender", "frame", "power_dbm", "start", "end")
 
@@ -130,6 +214,8 @@ class RadioMedium:
         #: sender → per-receiver hot-path rows; see :meth:`finalize`.
         self._rx_rows: Dict[int, list] = {}
         self._finalized = False
+        #: Fault overlay; ``None`` until a fault injector enables it.
+        self._faults: Optional[MediumFaultState] = None
         # Statistics.
         self.transmissions = 0
         self.deliveries = 0
@@ -150,6 +236,12 @@ class RadioMedium:
         if receiver:
             self._receivers[nid] = participant
         self._finalized = False
+
+    def enable_faults(self) -> MediumFaultState:
+        """Install (or return the existing) fault overlay state."""
+        if self._faults is None:
+            self._faults = MediumFaultState()
+        return self._faults
 
     def finalize(self) -> None:
         """Precompute candidate receiver lists from mean channel gains.
@@ -347,6 +439,7 @@ class RadioMedium:
         sin = math.sin
         cos = math.cos
         rx_info_new = RxInfo.__new__
+        faults = self._faults
         # Half duplex: a node transmitting during any part of the frame
         # cannot receive it.  Every such transmission overlaps ``tx`` in
         # time, so the senders of ``overlapping`` are exactly the busy nodes.
@@ -414,6 +507,17 @@ class RadioMedium:
                     gilbert_state.faded = faded
                     extra += -fade_depth if faded else 0.0
             gain = mean_gain + extra
+            if faults is not None:
+                fault_offset = faults.offset_for(sender_id, rid)
+                if fault_offset is None:
+                    # Blackout window: the frame is undecodable here, but
+                    # only *after* the RNG-free checks above — the channel
+                    # state replay already happened, so post-blackout draws
+                    # line up with an unfaulted timeline.
+                    faults.blackout_drops += 1
+                    continue
+                if fault_offset != 0.0:
+                    gain += fault_offset
             rssi = power_dbm + gain
             if overlapping:
                 interference_mw = 0.0

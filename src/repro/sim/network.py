@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.estimator import EstimatorConfig, HybridLinkEstimator
 from repro.estimators.presets import PRESETS
@@ -31,6 +31,11 @@ from repro.sim.rng import RngManager
 from repro.topology.generators import Topology
 from repro.topology.testbeds import TestbedProfile
 from repro.workloads.collection import CollectionSource, SinkRecorder, WorkloadConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+    from repro.faults.invariants import InvariantChecker
+    from repro.faults.schedule import FaultSchedule
 
 #: Protocols the harness knows how to build.  The CTP variants and "geo"
 #: share the estimator engine (with different presets); "mhlqi" is its own
@@ -74,6 +79,13 @@ class SimConfig:
     #: Attach a cross-layer metrics snapshot (``repro.obs`` registry, flat
     #: dict) to ``CollectionResult.metrics`` at the end of the run.
     collect_metrics: bool = False
+    #: Fault injection: a preset name, a path to a JSON scenario file, or a
+    #: :class:`~repro.faults.schedule.FaultSchedule`.  ``None`` = no faults
+    #: (and the fault machinery stays entirely out of the hot path).
+    faults: Optional[Union[str, "FaultSchedule"]] = None
+    #: Run the :class:`~repro.faults.invariants.InvariantChecker` alongside
+    #: the simulation (raises ``InvariantViolation`` on a failed property).
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -82,6 +94,14 @@ class SimConfig:
             raise ValueError("duration must exceed warmup")
         if self.white_bit not in ("lqi", "snr", "never"):
             raise ValueError(f"unknown white-bit policy {self.white_bit!r}")
+        if self.faults is not None and not isinstance(self.faults, str):
+            from repro.faults.schedule import FaultSchedule
+
+            if not isinstance(self.faults, FaultSchedule):
+                raise ValueError(
+                    f"faults must be a preset name, JSON path or FaultSchedule: "
+                    f"{self.faults!r}"
+                )
 
 
 class CollectionNetwork:
@@ -124,6 +144,10 @@ class CollectionNetwork:
             self.engine.enable_profiling()
         self._build_nodes()
         self._build_interferers()
+        self.fault_injector: Optional["FaultInjector"] = None
+        self.invariant_checker: Optional["InvariantChecker"] = None
+        if config.faults is not None:
+            self._build_fault_injector()
         apply_hardware_variation(
             [n.radio for n in self.nodes.values()],
             self.rng.stream("hardware"),
@@ -134,6 +158,13 @@ class CollectionNetwork:
         self.medium.finalize()
         self._schedule_boot()
         self._schedule_tree_sampling()
+        if self.fault_injector is not None:
+            self.fault_injector.arm()
+        if config.check_invariants:
+            from repro.faults.invariants import InvariantChecker
+
+            self.invariant_checker = InvariantChecker(self)
+            self.invariant_checker.install()
 
     # ------------------------------------------------------------------
     # Construction
@@ -253,17 +284,44 @@ class CollectionNetwork:
             )
             self.interferers.append(interferer)
 
+    def _build_fault_injector(self) -> None:
+        # Local imports: the faults package is optional machinery layered on
+        # top of the simulator; fault-free runs never touch it.
+        from repro.faults.injector import FaultInjector
+        from repro.faults.presets import resolve_schedule
+
+        assert self.config.faults is not None
+        node_ids = self.topology.node_ids()
+        schedule = resolve_schedule(
+            self.config.faults,
+            duration_s=self.config.duration_s,
+            warmup_s=self.config.warmup_s,
+            drain_s=self.config.drain_s,
+            node_ids=node_ids,
+            roots=self.roots,
+            positions={nid: self.topology.positions[nid] for nid in node_ids},
+            rng=self.rng,
+        )
+        self.fault_injector = FaultInjector(self, schedule)
+
     def _boot_node(self, node: Node) -> None:
         # Late-bound lookup so post-construction instrumentation (tracing)
         # that wraps ``protocol.start`` is honored.
+        if node.crashed:
+            return  # crashed before its boot time: stays down until reboot
         node.protocol.start()
+
+    def _start_source(self, node: Node) -> None:
+        if node.crashed or node.source is None:
+            return
+        node.source.start()
 
     def _schedule_boot(self) -> None:
         stop_at = self.config.duration_s - self.config.drain_s
         for node in self.nodes.values():
             self.engine.schedule_at(node.boot_time, self._boot_node, node)
             if node.source is not None:
-                self.engine.schedule_at(node.boot_time, node.source.start)
+                self.engine.schedule_at(node.boot_time, self._start_source, node)
                 self.engine.schedule_at(stop_at, node.source.stop)
         for interferer in self.interferers:
             self.engine.schedule_at(0.0, interferer.start)

@@ -28,6 +28,10 @@ class Node:
     estimator: Optional[HybridLinkEstimator]
     source: Optional[CollectionSource]
     boot_time: float
+    #: Failure injection: True between a fault crash and its reboot.  Boot
+    #: and source-start events check it so a node that crashed before its
+    #: staggered boot time never comes up (join/leave churn).
+    crashed: bool = False
 
     @property
     def is_root(self) -> bool:

@@ -43,9 +43,17 @@ net       ``deliver``     ``origin is the record node; seq, hops`` (at roots)
 net       ``etx``         ``neighbor, est, path, true`` — periodic parent-link
                           estimate vs ground truth (``etx_sample_s`` only)
 app       ``boot``        (none)
+faults    ``crash``/``reboot``  (none) — the record node crashed/came back
+faults    ``blackout``/``blackout-end``  ``a, b`` (node ids; -1 = wildcard
+                          scope, see :mod:`repro.faults.schedule`)
+faults    ``quality-shift``  ``delta (dB), a, b`` (-1 = wildcard)
+faults    ``interference``  ``x, y, power (dBm)`` — burst window opened
 (end)     ``stats``       ``layer`` plus every counter of that layer's stats
                           dataclass, one record per node per layer at run end
 ========  ==============  ====================================================
+
+Fault records carry ``node=NETWORK_NODE`` except ``crash``/``reboot``,
+whose ``node`` is the affected mote.
 """
 
 from __future__ import annotations
@@ -349,6 +357,9 @@ def instrument_network(
         _hook_estimator(tracer, engine, node)
         _hook_forwarding(tracer, engine, node)
     _hook_sink(tracer, network)
+    injector = getattr(network, "fault_injector", None)
+    if injector is not None:
+        _hook_faults(tracer, injector)
     if etx_sample_s is not None:
         _schedule_etx_sampling(tracer, network, etx_sample_s)
     run_end_hooks = getattr(network, "on_run_end", None)
@@ -555,6 +566,44 @@ def _hook_sink(tracer: Tracer, network: "CollectionNetwork") -> None:
             protocol.forwarding.on_deliver = wrapped
         else:
             protocol.on_deliver = wrapped
+
+
+def _hook_faults(tracer: Tracer, injector: Any) -> None:
+    """Emit one record per fault event (see the module schema table)."""
+
+    def on_event(kind: str, now: float, fields: Dict[str, Any]) -> None:
+        if kind in ("crash", "reboot"):
+            tracer.emit(now, kind, fields["node"])
+        elif kind in ("blackout", "blackout-end"):
+            a, b = fields["a"], fields["b"]
+            tracer.emit(
+                now,
+                kind,
+                NETWORK_NODE,
+                a=a if a is not None else -1,
+                b=b if b is not None else -1,
+            )
+        elif kind == "quality-shift":
+            a, b = fields["a"], fields["b"]
+            tracer.emit(
+                now,
+                kind,
+                NETWORK_NODE,
+                delta=fields["delta"],
+                a=a if a is not None else -1,
+                b=b if b is not None else -1,
+            )
+        elif kind == "interference":
+            tracer.emit(
+                now,
+                kind,
+                NETWORK_NODE,
+                x=fields["x"],
+                y=fields["y"],
+                power=fields["power"],
+            )
+
+    injector.on_event.append(on_event)
 
 
 # ---------------------------------------------------------------------------

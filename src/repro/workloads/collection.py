@@ -48,27 +48,33 @@ class CollectionSource:
         self.accepted = 0
         self._running = False
         self._stopped = False
+        #: Bumped on every stop so ticks from an earlier life are orphaned
+        #: (a stopped-then-restarted source must not double its send rate).
+        self._epoch = 0
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
+        self._stopped = False
         first = self.config.app_start_delay_s + self.rng.uniform(0, self.config.send_interval_s)
-        self.engine.schedule(first, self._tick)
+        self.engine.schedule(first, self._tick, self._epoch)
 
     def stop(self) -> None:
         """Stop generating (drains naturally; used to end measurements)."""
         self._stopped = True
+        self._running = False
+        self._epoch += 1
 
-    def _tick(self) -> None:
-        if self._stopped:
+    def _tick(self, epoch: int = 0) -> None:
+        if self._stopped or epoch != self._epoch:
             return
         self.attempted += 1
         if self.send_fn():
             self.accepted += 1
         jitter = self.config.jitter_fraction * self.config.send_interval_s
         delay = self.config.send_interval_s + self.rng.uniform(-jitter, jitter)
-        self.engine.schedule(max(delay, 0.1), self._tick)
+        self.engine.schedule(max(delay, 0.1), self._tick, epoch)
 
 
 @dataclass

@@ -45,6 +45,24 @@ def test_reboot_gap_resets_window():
     assert entry.beacon_missed == 0
 
 
+def test_reboot_gap_purges_prr_history():
+    # Regression: a neighbor that reboots resets its beacon seq, which shows
+    # up here as a huge gap.  The pre-gap PRR history describes a table slot
+    # the neighbor no longer has; seeding the post-reboot window's EWMA with
+    # it would inflate PRR (0.8·1.0 + 0.2·0.5 = 0.9 below, instead of the
+    # fresh window's 0.5).
+    est, _, _ = build_estimator(EstimatorConfig(kb=2, reboot_gap=32))
+    for seq in range(10):
+        beacon(est, NBR, seq=seq)  # five perfect windows: PRR EWMA at 1.0
+    entry = est.table.find(NBR)
+    assert entry.prr_ewma.value == pytest.approx(1.0)
+    beacon(est, NBR, seq=100)  # gap 91 ≥ reboot_gap: treated as a reboot
+    assert est.stats.reboot_resets == 1
+    assert entry.prr_ewma is None  # history gone, not just the window
+    beacon(est, NBR, seq=103)  # closes a 2-received / 4-expected window
+    assert entry.prr_ewma.value == pytest.approx(0.5)
+
+
 def test_perfect_beacons_give_etx_one():
     est, _, _ = build_estimator()
     for seq in range(8):

@@ -70,6 +70,14 @@ def scenario_unicast_samples() -> EstimatorStats:
     return est.stats
 
 
+def scenario_reboot_resets() -> EstimatorStats:
+    est, _, _ = build_estimator(EstimatorConfig(kb=2, reboot_gap=32))
+    beacon(est, src=1, seq=0)
+    beacon(est, src=1, seq=100)  # gap ≥ reboot_gap: window + PRR history reset
+    assert est.stats.reboot_resets == 1
+    return est.stats
+
+
 def scenario_rejected_no_white() -> EstimatorStats:
     est, _, _ = build_estimator(
         _full_table_config(use_standard_replacement=False), compare=StubCompare(True)
@@ -138,6 +146,7 @@ SCENARIOS = [
     scenario_duplicate_beacons,
     scenario_beacon_samples,
     scenario_unicast_samples,
+    scenario_reboot_resets,
     scenario_rejected_no_white,
     scenario_compare_query_and_insert,
     scenario_rejected_no_compare,

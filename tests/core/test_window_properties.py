@@ -1,0 +1,219 @@
+"""Property tests for the windowed ku/kb samplers and their EWMA folding.
+
+Uses hypothesis when available; otherwise falls back to a fixed-seed set
+of generated examples so the properties still run (just with a frozen
+sample of the input space).
+"""
+
+import random
+
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+from repro.core.ewma import Ewma
+
+from tests.core.helpers import beacon, build_estimator, unicast_attempt
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs hypothesis
+    HAVE_HYPOTHESIS = False
+
+NBR = 3
+
+
+def _fixed_cases(build, n_cases=30, seed=0x4B):
+    rng = random.Random(seed)
+    return [build(rng) for _ in range(n_cases)]
+
+
+def ack_list_cases(fn):
+    """``fn(acks: List[bool])`` — biased coin flips of varying length."""
+    if HAVE_HYPOTHESIS:
+        return settings(max_examples=60, deadline=None)(
+            given(st.lists(st.booleans(), min_size=1, max_size=80))(fn)
+        )
+
+    def build(rng):
+        p = rng.random()
+        return [rng.random() < p for _ in range(rng.randint(1, 80))]
+
+    return pytest.mark.parametrize("acks", _fixed_cases(build))(fn)
+
+
+def gap_list_cases(fn):
+    """``fn(gaps: List[int])`` — beacon sequence gaps in [1, 6]."""
+    if HAVE_HYPOTHESIS:
+        return settings(max_examples=60, deadline=None)(
+            given(st.lists(st.integers(1, 6), min_size=1, max_size=60))(fn)
+        )
+
+    def build(rng):
+        return [rng.randint(1, 6) for _ in range(rng.randint(1, 60))]
+
+    return pytest.mark.parametrize("gaps", _fixed_cases(build))(fn)
+
+
+def count_cases(fn):
+    """``fn(n: int)`` — a beacon count in [1, 120]."""
+    if HAVE_HYPOTHESIS:
+        return settings(max_examples=60, deadline=None)(
+            given(st.integers(1, 120))(fn)
+        )
+    return pytest.mark.parametrize("n", list(range(1, 13)) + [40, 99, 120])(fn)
+
+
+def float_list_cases(fn):
+    """``fn(samples: List[float])`` — bounded EWMA inputs."""
+    if HAVE_HYPOTHESIS:
+        return settings(max_examples=60, deadline=None)(
+            given(
+                st.lists(
+                    st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+                    min_size=1,
+                    max_size=40,
+                )
+            )(fn)
+        )
+
+    def build(rng):
+        return [rng.uniform(-50.0, 50.0) for _ in range(rng.randint(1, 40))]
+
+    return pytest.mark.parametrize("samples", _fixed_cases(build))(fn)
+
+
+# ----------------------------------------------------------------------
+# Unicast (ku) window
+# ----------------------------------------------------------------------
+def _unicast_config():
+    # kb huge so the single insertion beacon never folds a beacon sample;
+    # alpha_outer 0 so the entry's ETX equals the *last* folded sample.
+    return EstimatorConfig(kb=10_000, ku=5, alpha_outer=0.0)
+
+
+def _reference_samples(acks, ku=5, cap=50.0):
+    """Straight re-implementation of the paper's windowing rule."""
+    samples = []
+    total = acked = fails = 0
+    for ack in acks:
+        total += 1
+        if ack:
+            acked += 1
+            fails = 0
+        else:
+            fails += 1
+        if total >= ku:
+            raw = total / acked if acked > 0 else float(fails)
+            samples.append(min(raw, cap))
+            total = acked = 0
+    return samples
+
+
+@ack_list_cases
+def test_property_unicast_window_matches_reference_model(acks):
+    est, _, _ = build_estimator(_unicast_config())
+    beacon(est, NBR, seq=0)  # insert the neighbor
+    for ack in acks:
+        unicast_attempt(est, NBR, ack)
+    expected = _reference_samples(acks)
+    assert est.stats.unicast_samples == len(expected) == len(acks) // 5
+    entry = est.table.find(NBR)
+    assert entry.uni_total == len(acks) % 5
+    if expected:
+        assert entry.etx == pytest.approx(expected[-1])
+    else:
+        assert not entry.mature
+
+
+@count_cases
+def test_property_all_failure_windows_sample_the_streak(n):
+    """With ``acked == 0`` throughout, each window's sample is the failure
+    streak (5, 10, 15, ... capped), not ku/0."""
+    est, _, _ = build_estimator(_unicast_config())
+    beacon(est, NBR, seq=0)
+    for _ in range(n):
+        unicast_attempt(est, NBR, acked=False)
+    entry = est.table.find(NBR)
+    windows = n // 5
+    assert est.stats.unicast_samples == windows
+    assert entry.fails_since_last_ack == n
+    if windows:
+        assert entry.etx == pytest.approx(min(5.0 * windows, 50.0))
+
+
+def test_failure_streak_resets_on_ack():
+    est, _, _ = build_estimator(_unicast_config())
+    beacon(est, NBR, seq=0)
+    for _ in range(4):
+        unicast_attempt(est, NBR, acked=False)
+    unicast_attempt(est, NBR, acked=True)  # closes the window: 5/1
+    entry = est.table.find(NBR)
+    assert entry.fails_since_last_ack == 0
+    assert entry.etx == pytest.approx(5.0)
+
+
+def test_short_failure_run_yields_no_sample():
+    est, _, _ = build_estimator(_unicast_config())
+    beacon(est, NBR, seq=0)
+    for _ in range(4):
+        unicast_attempt(est, NBR, acked=False)
+    entry = est.table.find(NBR)
+    assert est.stats.unicast_samples == 0
+    assert entry.uni_total == 4
+    assert not entry.mature
+
+
+# ----------------------------------------------------------------------
+# Beacon (kb) window
+# ----------------------------------------------------------------------
+@count_cases
+def test_property_beacon_sample_count(n):
+    """``n`` consecutive beacons close exactly ``n // kb`` windows."""
+    est, _, _ = build_estimator(EstimatorConfig(kb=2))
+    for seq in range(n):
+        beacon(est, NBR, seq=seq)
+    assert est.stats.beacon_samples == n // 2
+
+
+@gap_list_cases
+def test_property_prr_ewma_stays_a_probability(gaps):
+    est, _, _ = build_estimator(EstimatorConfig(kb=2))
+    seq = 0
+    beacon(est, NBR, seq=seq)
+    for gap in gaps:
+        seq = (seq + gap) % 256
+        beacon(est, NBR, seq=seq)
+    entry = est.table.find(NBR)
+    if entry.prr_ewma is not None and entry.prr_ewma.initialized:
+        assert 0.0 <= entry.prr_ewma.value <= 1.0
+    if entry.mature:
+        assert entry.etx >= 1.0 - 1e-9
+
+
+# ----------------------------------------------------------------------
+# The EWMA primitive under the samplers
+# ----------------------------------------------------------------------
+@float_list_cases
+def test_property_ewma_matches_closed_form(samples):
+    """The EWMA equals the alpha-weighted sum with the first sample as seed."""
+    alpha = 0.8
+    ewma = Ewma(alpha)
+    expected = samples[0]
+    ewma.update(samples[0])
+    for s in samples[1:]:
+        expected = alpha * expected + (1.0 - alpha) * s
+        ewma.update(s)
+    assert ewma.value == pytest.approx(expected, rel=1e-12, abs=1e-12)
+    assert min(samples) - 1e-9 <= ewma.value <= max(samples) + 1e-9
+
+
+@float_list_cases
+def test_property_ewma_reset_forgets_history(samples):
+    ewma = Ewma(0.9)
+    for s in samples:
+        ewma.update(s)
+    ewma.reset()
+    assert ewma.update(3.25) == 3.25

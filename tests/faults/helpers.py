@@ -1,0 +1,32 @@
+"""Shared builder for small faulted collection networks."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.faults.schedule import FaultSchedule
+from repro.sim.network import CollectionNetwork, SimConfig
+from repro.sim.rng import RngManager
+from repro.topology.generators import grid
+
+
+def build_network(
+    faults: Optional[Union[str, FaultSchedule]] = None,
+    duration_s: float = 180.0,
+    warmup_s: float = 60.0,
+    seed: int = 3,
+    side: int = 4,
+    protocol: str = "4b",
+    **config_overrides,
+) -> CollectionNetwork:
+    """A jittered ``side x side`` grid running 4B collection."""
+    topo = grid(side, side, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=0.5)
+    config = SimConfig(
+        protocol=protocol,
+        seed=seed,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        faults=faults,
+        **config_overrides,
+    )
+    return CollectionNetwork(topo, config)

@@ -1,0 +1,64 @@
+"""Bit-reproducibility of faulted runs, serially and across processes."""
+
+from repro.experiments.common import Cell, ExperimentScale, run_cells, run_one
+from repro.runner import ExperimentRunner
+from repro.runner.hashing import config_digest
+
+from tests.faults.helpers import build_network
+
+SCALE = ExperimentScale(n_nodes=16, duration_s=150.0, warmup_s=60.0, seeds=(1,))
+
+
+def _snapshot(net, result):
+    """Golden-style canonical outcome: counters plus every ETX table."""
+    tables = {
+        nid: node.estimator.table_snapshot()
+        for nid, node in sorted(net.nodes.items())
+        if node.estimator is not None
+    }
+    return config_digest(
+        {
+            "result": result.to_json_dict(),
+            "tables": tables,
+            "crashes": net.fault_injector.stats.node_crashes,
+            "reboots": net.fault_injector.stats.node_reboots,
+        }
+    )
+
+
+def test_same_seed_fault_runs_bit_identical():
+    digests = []
+    for _ in range(2):
+        net = build_network(
+            faults="reboot_storm", check_invariants=True, collect_metrics=True
+        )
+        result = net.run()
+        digests.append(_snapshot(net, result))
+    assert digests[0] == digests[1]
+
+
+def test_fault_spec_changes_the_run():
+    baseline = build_network()
+    faulted = build_network(faults="reboot_storm")
+    a, b = baseline.run(), faulted.run()
+    assert config_digest(a.to_json_dict()) != config_digest(b.to_json_dict())
+
+
+def test_serial_and_parallel_runners_agree():
+    cell = Cell.make("4b", faults="reboot_storm", collect_metrics=True)
+    serial = run_cells(SCALE, [cell], ExperimentRunner(workers=1))
+    parallel = run_cells(SCALE, [cell], ExperimentRunner(workers=2))
+    lhs = [config_digest(r.to_json_dict()) for r in serial[0].runs]
+    rhs = [config_digest(r.to_json_dict()) for r in parallel[0].runs]
+    assert lhs == rhs
+
+
+def test_run_one_accepts_fault_overrides():
+    result = run_one(SCALE, "4b", seed=1, faults="reboot_storm", collect_metrics=True)
+    totals = {
+        k.split("{", 1)[0]: v
+        for k, v in sorted(result.metrics.items())
+        if k.startswith("faults.")
+    }
+    assert totals.get("faults.injector.node_crashes", 0) >= 1
+    assert "faults.invariants.checks_run" not in totals  # checker was off

@@ -1,0 +1,163 @@
+"""Tests for the runtime invariant checker — including proof it catches
+a deliberately broken pin implementation."""
+
+import math
+
+import pytest
+
+from repro.core.neighbor_table import NeighborTable
+from repro.estimators.presets import four_bit
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.schedule import FaultSchedule, NodeCrash
+from repro.link.frame import BROADCAST, Frame
+
+from tests.faults.helpers import build_network
+
+import dataclasses
+
+VICTIM = 15
+
+
+def test_clean_run_passes_all_checks():
+    net = build_network(faults="table_pressure", check_invariants=True)
+    net.run()
+    checker = net.invariant_checker
+    assert checker is not None
+    assert checker.checks_run > 0
+    assert checker.violations == []
+
+
+def test_checker_works_without_faults():
+    net = build_network(check_invariants=True, duration_s=120.0)
+    net.run()
+    checker = net.invariant_checker
+    assert checker is not None
+    assert checker.checks_run > 0
+    assert checker.violations == []
+
+
+def test_broken_pin_implementation_is_caught(monkeypatch):
+    """An eviction policy that ignores the pin bit must trip the checker
+    the moment it removes a pinned entry."""
+
+    def broken_evict(self, rng, eligible=None):
+        pool = [
+            addr
+            for addr, e in self._entries.items()
+            if eligible is None or eligible(e)  # pin bit ignored
+        ]
+        if not pool:
+            return None
+        victim = rng.choice(pool)
+        self.remove(victim)
+        self.evictions += 1
+        return victim
+
+    monkeypatch.setattr(NeighborTable, "evict_random_unpinned", broken_evict)
+    # A 3-slot table on a dense grid keeps compare-driven eviction busy, so
+    # a pinned parent is soon deleted by the broken policy.
+    net = build_network(
+        check_invariants=True,
+        estimator_config=dataclasses.replace(four_bit(), table_size=3),
+    )
+    with pytest.raises(InvariantViolation, match="pinned entry"):
+        net.run()
+    assert net.invariant_checker is not None
+    assert net.invariant_checker.violations
+
+
+def test_dead_node_transmission_is_caught():
+    schedule = FaultSchedule(events=(NodeCrash(at_s=90.0, node=VICTIM),), name="kill")
+    net = build_network(faults=schedule, check_invariants=True)
+    # Force a frame onto the air from the dead node mid-run: the wrapped
+    # medium.start_transmission must refuse it.
+    net.engine.schedule_at(
+        100.0,
+        net.medium.start_transmission,
+        VICTIM,
+        Frame(src=VICTIM, dst=BROADCAST, length_bytes=20),
+    )
+    with pytest.raises(InvariantViolation, match="dead node"):
+        net.run()
+
+
+def _run_clean_checker():
+    net = build_network(check_invariants=True, duration_s=120.0)
+    net.run()
+    checker = net.invariant_checker
+    assert checker is not None
+    return net, checker
+
+
+def test_corrupt_etx_detected():
+    net, checker = _run_clean_checker()
+    entry = next(
+        e
+        for nid in sorted(net.nodes)
+        if net.nodes[nid].estimator is not None
+        for e in net.nodes[nid].estimator.table
+        if e.mature
+    )
+    entry.etx_ewma._value = 0.2  # below the physical floor of 1
+    with pytest.raises(InvariantViolation, match="< 1"):
+        checker.check_now()
+    entry.etx_ewma._value = math.nan
+    with pytest.raises(InvariantViolation, match="nan"):
+        checker.check_now()
+
+
+def test_lost_pin_bit_detected():
+    net, checker = _run_clean_checker()
+    pinned = [
+        (nid, addr)
+        for nid, expected in sorted(checker._expected_pins.items())
+        for addr in sorted(expected)
+    ]
+    assert pinned, "a formed tree must have pinned parents"
+    nid, addr = pinned[0]
+    net.nodes[nid].estimator.table.find(addr).pinned = False
+    with pytest.raises(InvariantViolation, match="lost its pin bit"):
+        checker.check_now()
+
+
+def test_pinned_removal_via_table_api_detected():
+    net, checker = _run_clean_checker()
+    pinned = [
+        (nid, addr)
+        for nid, expected in sorted(checker._expected_pins.items())
+        for addr in sorted(expected)
+    ]
+    nid, addr = pinned[0]
+    with pytest.raises(InvariantViolation, match="explicitly removed"):
+        net.nodes[nid].estimator.table.remove(addr)
+
+
+def test_routing_loop_detected_at_quiescence():
+    net, checker = _run_clean_checker()
+    non_roots = [nid for nid in sorted(net.nodes) if nid not in net.roots]
+    a, b = non_roots[0], non_roots[1]
+    net.nodes[a].protocol.routing.parent = b
+    net.nodes[b].protocol.routing.parent = a
+    checker.check_now()  # transient loops are legal mid-run
+    with pytest.raises(InvariantViolation, match="routing loop"):
+        checker.check_now(final=True)
+
+
+def test_checker_is_read_only():
+    """Enabling the checker must not change simulated behavior."""
+    plain = build_network(duration_s=120.0)
+    result_plain = plain.run()
+    checked = build_network(check_invariants=True, duration_s=120.0)
+    result_checked = checked.run()
+    assert result_plain.unique_delivered == result_checked.unique_delivered
+    assert result_plain.offered == result_checked.offered
+    assert result_plain.total_data_tx == result_checked.total_data_tx
+
+
+def test_standalone_checker_install_is_idempotent():
+    net = build_network(duration_s=120.0)
+    checker = InvariantChecker(net)
+    checker.install()
+    checker.install()
+    net.run()
+    assert checker.checks_run > 0

@@ -1,0 +1,77 @@
+"""Tests for the named fault presets and spec resolution."""
+
+import pytest
+
+from repro.faults.presets import PRESET_NAMES, resolve_schedule
+from repro.faults.schedule import FaultSchedule, NodeCrash, NodeReboot
+from repro.sim.rng import RngManager
+
+NODE_IDS = list(range(16))
+ROOTS = [0]
+POSITIONS = {nid: (6.0 * (nid % 4), 6.0 * (nid // 4)) for nid in NODE_IDS}
+
+
+def _resolve(spec, seed=3, duration_s=300.0, warmup_s=60.0, drain_s=30.0):
+    return resolve_schedule(
+        spec,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        drain_s=drain_s,
+        node_ids=NODE_IDS,
+        roots=ROOTS,
+        positions=POSITIONS,
+        rng=RngManager(seed),
+    )
+
+
+def test_preset_names_sorted_and_complete():
+    assert PRESET_NAMES == ("flaky_burst", "reboot_storm", "table_pressure")
+
+
+@pytest.mark.parametrize("name", PRESET_NAMES)
+def test_presets_resolve_and_validate(name):
+    schedule = _resolve(name)
+    assert isinstance(schedule, FaultSchedule)
+    assert schedule.name == name
+    assert len(schedule) > 0
+    # Construction re-validates every event; also check the active window.
+    for event in schedule.events:
+        at = getattr(event, "at_s", getattr(event, "start_s", None))
+        assert at is not None
+        assert at >= 60.0  # never before warmup
+
+
+@pytest.mark.parametrize("name", PRESET_NAMES)
+def test_presets_deterministic_in_master_seed(name):
+    assert _resolve(name, seed=5) == _resolve(name, seed=5)
+    assert _resolve(name, seed=5).digest() != _resolve(name, seed=6).digest()
+
+
+def test_reboot_storm_never_touches_roots():
+    schedule = _resolve("reboot_storm", seed=9)
+    for event in schedule.events:
+        assert isinstance(event, NodeCrash)
+        assert event.node not in ROOTS
+        assert event.reboot_at_s is not None and event.reboot_at_s > event.at_s
+
+
+def test_reboot_storm_sorted_by_time():
+    times = [e.at_s for e in _resolve("reboot_storm", seed=9).events]
+    assert times == sorted(times)
+
+
+def test_resolve_passes_schedule_through():
+    schedule = FaultSchedule(events=(NodeReboot(at_s=80.0, node=4),), name="custom")
+    assert _resolve(schedule) is schedule
+
+
+def test_resolve_loads_json_file(tmp_path):
+    schedule = FaultSchedule(events=(NodeReboot(at_s=80.0, node=4),), name="from-file")
+    path = tmp_path / "faults.json"
+    schedule.to_json_file(path)
+    assert _resolve(str(path)) == schedule
+
+
+def test_resolve_rejects_unknown_spec():
+    with pytest.raises(ValueError, match="unknown fault spec"):
+        _resolve("not_a_preset_or_file")

@@ -1,0 +1,105 @@
+"""Unit tests for fault events and the FaultSchedule JSON round trip."""
+
+import pytest
+
+from repro.faults.schedule import (
+    EVENT_TYPES,
+    FaultSchedule,
+    InterferenceBurst,
+    LinkBlackout,
+    NodeCrash,
+    NodeReboot,
+    QualityShift,
+)
+
+
+def _sample_schedule() -> FaultSchedule:
+    return FaultSchedule(
+        events=(
+            NodeCrash(at_s=90.0, node=5, reboot_at_s=110.0),
+            NodeCrash(at_s=95.0, node=7),  # permanent death
+            NodeReboot(at_s=130.0, node=7),
+            LinkBlackout(start_s=100.0, end_s=120.0, node_a=3),
+            LinkBlackout(start_s=140.0, end_s=150.0),  # whole network
+            QualityShift(at_s=105.0, delta_db=-4.0, node_a=2, node_b=6),
+            InterferenceBurst(start_s=115.0, end_s=135.0, x=12.0, y=9.0, power_dbm=-3.0),
+        ),
+        name="sample",
+    )
+
+
+def test_json_dict_roundtrip_is_identity():
+    schedule = _sample_schedule()
+    assert FaultSchedule.from_json_dict(schedule.to_json_dict()) == schedule
+
+
+def test_json_file_roundtrip(tmp_path):
+    schedule = _sample_schedule()
+    path = tmp_path / "scenario.json"
+    schedule.to_json_file(path)
+    assert FaultSchedule.from_json_file(path) == schedule
+
+
+def test_digest_stable_and_sensitive():
+    a = _sample_schedule()
+    b = _sample_schedule()
+    assert a.digest() == b.digest()
+    shifted = FaultSchedule(
+        events=a.events[:-1] + (InterferenceBurst(115.0, 135.0, 12.0, 9.5, -3.0),),
+        name="sample",
+    )
+    assert shifted.digest() != a.digest()
+
+
+def test_event_order_is_part_of_identity():
+    crash = NodeCrash(at_s=90.0, node=5)
+    shift = QualityShift(at_s=90.0, delta_db=-4.0)
+    # Same-time events apply in schedule order, so order changes the digest.
+    ab = FaultSchedule(events=(crash, shift))
+    ba = FaultSchedule(events=(shift, crash))
+    assert ab.digest() != ba.digest()
+
+
+def test_events_coerced_to_tuple():
+    schedule = FaultSchedule(events=[NodeReboot(at_s=10.0, node=1)])
+    assert isinstance(schedule.events, tuple)
+    assert len(schedule) == 1
+
+
+def test_every_event_kind_registered():
+    assert set(EVENT_TYPES) == {
+        "node_crash",
+        "node_reboot",
+        "link_blackout",
+        "quality_shift",
+        "interference_burst",
+    }
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault event kind"):
+        FaultSchedule.from_json_dict({"events": [{"kind": "meteor_strike", "at_s": 1.0}]})
+
+
+@pytest.mark.parametrize(
+    "event",
+    [
+        NodeCrash(at_s=-1.0, node=3),
+        NodeCrash(at_s=50.0, node=-2),
+        NodeCrash(at_s=50.0, node=3, reboot_at_s=50.0),  # not after the crash
+        NodeReboot(at_s=-0.5, node=3),
+        LinkBlackout(start_s=20.0, end_s=20.0),  # empty window
+        LinkBlackout(start_s=-1.0, end_s=5.0),
+        LinkBlackout(start_s=1.0, end_s=5.0, node_a=-3),
+        QualityShift(at_s=-2.0, delta_db=3.0),
+        InterferenceBurst(start_s=30.0, end_s=10.0, x=0.0, y=0.0),
+    ],
+)
+def test_invalid_events_rejected_at_schedule_construction(event):
+    with pytest.raises(ValueError):
+        FaultSchedule(events=(event,))
+
+
+def test_non_event_rejected():
+    with pytest.raises(TypeError):
+        FaultSchedule(events=("node_crash",))
