@@ -17,6 +17,7 @@ from repro.bench.core import BenchResult
 from repro.link.frame import BROADCAST, Frame
 from repro.phy.channel import ChannelModel
 from repro.phy.modulation import prr_fast
+from repro.phy.noise import BurstParams, place_interferers
 from repro.phy.radio import Radio
 from repro.sim.engine import Engine
 from repro.sim.medium import RadioMedium
@@ -268,6 +269,135 @@ def macro_chaos(quick: bool = False) -> BenchResult:
     res.check["node_crashes"] = injector.stats.node_crashes
     res.check["node_reboots"] = injector.stats.node_reboots
     return res
+
+
+def _grid100_medium_result(name: str, backend: str, quick: bool) -> BenchResult:
+    """Medium-centric 100-node scenario: the reception kernel under load.
+
+    Full-stack macro runs are dominated by MAC/estimator/routing delivery
+    processing, which caps any medium speedup well below its kernel-level
+    value (Amdahl).  This scenario isolates the medium the same way
+    ``micro_reception`` does — trivial counting listeners, no upper stack —
+    but at macro scale: a 10×10 grid with dense Markov interferer traffic,
+    so every transmission pays candidate evaluation, fading advance and
+    interference accumulation over ~70 in-range receivers.  This is the
+    workload class the fast backend's ≥10× events/s acceptance gate is
+    measured on (PR 6).
+    """
+    duration = 8.0 if quick else 30.0
+    engine = Engine()
+    rng = RngManager(11)
+    topo = grid(10, 10, spacing_m=12.0, rng=RngManager(7).stream("t"), jitter_m=1.0)
+    channel = ChannelModel(
+        topo.positions,
+        rng.fork("channel"),
+        shadowing_sigma_db=3.2,
+        temporal_sigma_db=1.5,
+        temporal_tau_s=60.0,
+        bimodal_fraction=0.3,
+    )
+    if backend == "fast":
+        from repro.sim.medium_fast import FastRadioMedium
+
+        medium: RadioMedium = FastRadioMedium(engine, channel, rng)
+    else:
+        medium = RadioMedium(engine, channel, rng)
+    listeners: List[_CountingListener] = []
+    for nid in topo.node_ids():
+        listener = _CountingListener(nid)
+        medium.attach(listener)
+        listeners.append(listener)
+
+    # 24 near-always-on jammers over the grid footprint keep several
+    # transmissions in flight at once, so the interference-accumulation
+    # path (the exact backend's O(candidates × overlaps) term) dominates.
+    jam_positions = [
+        (ix * 27.0 + 6.0, iy * 27.0 + 6.0) for ix in range(5) for iy in range(5)
+    ][:24]
+    jammers = place_interferers(
+        engine,
+        medium,
+        jam_positions,
+        -5.0,
+        rng.cached_stream,
+        kind="markov",
+        off_mean_s=5.0,
+        on_mean_s=120.0,
+        burst=BurstParams(burst_min_s=20e-3, burst_max_s=50e-3, gap_mean_s=10e-3),
+    )
+    for jam in jammers:
+        jam.start()
+    medium.finalize()
+
+    traffic = rng.stream("grid100-traffic")
+    sent = [0]
+
+    def make_sender(node: _CountingListener) -> Callable[[], None]:
+        def send() -> None:
+            frame = Frame(src=node.node_id, dst=BROADCAST, length_bytes=36)
+            medium.start_transmission(node.node_id, frame)
+            sent[0] += 1
+            engine.schedule(traffic.expovariate(4.0), send)
+
+        return send
+
+    for node in listeners:
+        engine.schedule(traffic.expovariate(4.0), make_sender(node))
+
+    t0 = perf_counter()
+    engine.run_until(duration)
+    wall = perf_counter() - t0
+    return BenchResult(
+        name=name,
+        kind="macro",
+        metrics={
+            "events_per_s": engine.events_run / wall if wall > 0 else 0.0,
+            "frames_per_s": sent[0] / wall if wall > 0 else 0.0,
+        },
+        check={
+            "events": engine.events_run,
+            "data_tx": sent[0],
+            "transmissions": medium.transmissions,
+            "deliveries": medium.deliveries,
+            "collisions": medium.collisions,
+            "white_bits_set": medium.white_bits_set,
+        },
+        wall_s=wall,
+    )
+
+
+@scenario
+def macro_grid100(quick: bool = False) -> BenchResult:
+    """100-node medium-centric run on the exact scalar backend."""
+    return _grid100_medium_result("macro_grid100", "exact", quick)
+
+
+@scenario
+def macro_grid100_fast(quick: bool = False) -> BenchResult:
+    """The same 100-node workload on the vectorized ``fast`` backend."""
+    return _grid100_medium_result("macro_grid100_fast", "fast", quick)
+
+
+@scenario
+def macro_grid25_fast(quick: bool = False) -> BenchResult:
+    """Full 4B collection on the fast backend (macro_grid25's twin).
+
+    Full-stack, so the speedup is Amdahl-capped by upper-stack processing;
+    this pins the fast backend's end-to-end behavior and guards against
+    regressions in its integration with the runner stack.
+    """
+    duration = 150.0 if quick else 600.0
+    topo = grid(5, 5, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=0.5)
+    config = SimConfig(
+        protocol="4b",
+        seed=3,
+        duration_s=duration,
+        warmup_s=60.0,
+        profile_events=True,
+        medium="fast",
+    )
+    net = CollectionNetwork(topo, config)
+    return _macro_result("macro_grid25_fast", net, duration)
 
 
 MICRO = tuple(n for n, fn in SCENARIOS.items() if n.startswith("micro_"))

@@ -10,6 +10,10 @@ that feeds event ordering) the rule flags:
   is the sanctioned exception; ``random.SystemRandom`` is not.
 * ``from random import <global function>`` — same hazard, different
   spelling.
+* calls through numpy's process-global RNG (``np.random.seed()``,
+  ``np.random.normal()``, ...) and unseeded ``default_rng()`` — vectorized
+  draws must come from an explicitly seeded ``Generator(PCG64(...))``
+  keyed off ``derive_seed`` (what the fast medium backend does).
 * wall-clock and entropy reads: ``time.time()`` and friends,
   ``datetime.now()`` / ``today()`` / ``utcnow()``, ``os.urandom``,
   ``uuid.uuid1``/``uuid4``, anything from ``secrets``.
@@ -51,6 +55,25 @@ EXEMPT_MODULES = ("repro.sim.rng",)
 #: ``random.Random`` (a freshly seeded instance) is the one sanctioned
 #: attribute; everything else on the module touches global state.
 ALLOWED_RANDOM_ATTRS = {"Random"}
+
+#: Explicitly-seeded numpy RNG machinery is sanctioned (the fast medium
+#: backend seeds ``Generator(PCG64(derive_seed(...)))`` from the master
+#: seed); the legacy ``np.random.*`` convenience functions all mutate the
+#: process-global ``RandomState`` and are not.
+ALLOWED_NUMPY_RANDOM_ATTRS = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "default_rng",
+}
+
+#: Spellings of the ``numpy.random`` namespace seen in qualified calls.
+_NUMPY_RANDOM_PREFIXES = ("numpy.random.", "np.random.")
 
 #: Qualified call targets that read the wall clock or OS entropy.
 FORBIDDEN_CALLS = {
@@ -128,6 +151,24 @@ class DeterminismRule(Rule):
                     "RngManager stream (sim/rng.py) instead",
                 )
             return
+        for prefix in _NUMPY_RANDOM_PREFIXES:
+            if qual.startswith(prefix):
+                attr = qual[len(prefix):]
+                if attr == "default_rng" and not node.args:
+                    yield self.finding(
+                        module,
+                        node,
+                        "`default_rng()` without a seed draws OS entropy — "
+                        "seed it from a derive_seed(master, ...) stream name",
+                    )
+                elif attr not in ALLOWED_NUMPY_RANDOM_ATTRS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"call to global numpy RNG `{prefix}{attr}()` — use a "
+                        "seeded Generator(PCG64(derive_seed(...))) instead",
+                    )
+                return
         reason = FORBIDDEN_CALLS.get(qual)
         if reason is not None:
             yield self.finding(
@@ -138,16 +179,27 @@ class DeterminismRule(Rule):
             )
 
     def _check_import_from(self, module: ModuleInfo, node: ast.ImportFrom) -> Iterator[Finding]:
-        if node.module != "random" or node.level:
+        if node.level:
             return
-        for alias in node.names:
-            if alias.name not in ALLOWED_RANDOM_ATTRS:
-                yield self.finding(
-                    module,
-                    node,
-                    f"`from random import {alias.name}` binds a global-state "
-                    "RNG function — import Random and seed a stream instead",
-                )
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in ALLOWED_RANDOM_ATTRS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"`from random import {alias.name}` binds a global-state "
+                        "RNG function — import Random and seed a stream instead",
+                    )
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in ALLOWED_NUMPY_RANDOM_ATTRS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"`from numpy.random import {alias.name}` binds the "
+                        "global RandomState — import Generator/PCG64 and seed "
+                        "from derive_seed instead",
+                    )
 
     def _check_iteration(self, module: ModuleInfo, iter_node: ast.expr) -> Iterator[Finding]:
         if _set_valued(iter_node):

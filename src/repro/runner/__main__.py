@@ -77,6 +77,14 @@ def main(argv=None) -> int:
         help="run the invariant checker in every run (fails loudly on a "
         "violated structural property)",
     )
+    parser.add_argument(
+        "--medium",
+        default="exact",
+        choices=("exact", "fast"),
+        help="radio medium backend: 'exact' is the bit-identical scalar "
+        "path; 'fast' is the vectorized, spatially-culled backend "
+        "(distribution-equivalent — see DESIGN.md §9)",
+    )
     args = parser.parse_args(argv)
 
     if args.clear_cache:
@@ -117,6 +125,10 @@ def main(argv=None) -> int:
         overrides["collect_metrics"] = True
     if args.check_invariants:
         overrides["check_invariants"] = True
+    if args.medium != "exact":
+        # Only non-default backends enter the override table, so existing
+        # exact-path cache keys are unaffected by the flag's presence.
+        overrides["medium"] = args.medium
     cells = [
         Cell.make(proto, label=f"{proto} @{power:+.0f}dBm", tx_power_dbm=power, **overrides)
         for power in powers

@@ -25,7 +25,10 @@ from typing import Any
 #: change that alters outputs without changing any config value).
 #: 2: estimator reboot detection resets the PRR history (stale sequence
 #: numbers no longer inflate PRR), changing results for any config.
-CACHE_SCHEMA_VERSION = 2
+#: 3: SimConfig grew the ``medium`` backend selector; digests of configs
+#: hashed as dataclasses change, and the fast backend means one config no
+#: longer implies one bitstream for medium="fast" runs.
+CACHE_SCHEMA_VERSION = 3
 
 
 def _frame(raw: bytes) -> bytes:

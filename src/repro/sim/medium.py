@@ -253,7 +253,16 @@ class RadioMedium:
         precomputed ``10·log10`` dB value, the receiver's modulation, its
         pre-bound ``rx`` RNG stream and delivery callback — so the per-
         reception cost is a single tuple unpack.
+
+        Idempotent: a second call with no interleaving :meth:`attach` is a
+        no-op.  Rebuilding mid-run would discard the cached per-pair
+        OU/Gilbert state slots in the hot-path rows (and any other state a
+        backend hangs off them), silently perturbing the random sequence —
+        and ``candidate_receivers()`` / ``start_transmission()`` finalize
+        implicitly, so an explicit late call must be harmless.
         """
+        if self._finalized:
+            return
         self._candidates = {}
         self._rx_rows = {}
         stream = self._rng.stream
@@ -305,11 +314,23 @@ class RadioMedium:
     # Carrier sense
     # ------------------------------------------------------------------
     def channel_clear(self, node_id: int) -> bool:
-        """CCA at ``node_id``: no active transmission above the threshold."""
+        """CCA at ``node_id``: no active transmission above the threshold.
+
+        Raises :class:`ValueError` for a node id that was never attached —
+        a bare ``KeyError`` here historically meant "some dict lookup deep
+        in the medium broke", which is indistinguishable from a logic bug
+        when e.g. a ``repro.faults`` crash wiped a component's state and it
+        kept polling the channel.
+        """
+        listener = self._participants.get(node_id)
+        if listener is None:
+            raise ValueError(
+                f"channel_clear: node {node_id} is not attached to the medium"
+            )
         active = self._active
         if not active:
             return True
-        threshold = self._participants[node_id].radio.params.cca_threshold_dbm
+        threshold = listener.radio.params.cca_threshold_dbm
         now = self.engine.now
         gain_db = self.channel.gain_db
         for tx in active:
@@ -351,12 +372,35 @@ class RadioMedium:
 
     def _prune_recent(self) -> None:
         # Keep only transmissions that could still overlap something active.
-        if len(self._recent) > _RECENT_PRUNE_LEN:
-            horizon = self.engine.now - _RECENT_HORIZON_S
-            self._recent = [t for t in self._recent if t.end >= horizon]
-            for own in self._tx_by_sender.values():
-                if own:
-                    own[:] = [t for t in own if t.end >= horizon]
+        # Trigger on length (bursty traffic) *or* on the oldest entry having
+        # aged past the horizon (low-traffic long runs would otherwise pin
+        # up to _RECENT_PRUNE_LEN stale transmissions — and their frames —
+        # indefinitely).  ``_recent`` is sorted by end time, so the age
+        # check is O(1) and the stale entries are exactly a prefix: drop
+        # that prefix and remove each dropped transmission from its
+        # sender's list, so the cost is amortized O(1) per transmission
+        # instead of a full rebuild of every per-sender list on each
+        # trigger.  Pruned entries can never overlap a later frame, so
+        # results are untouched either way.
+        recent = self._recent
+        if not recent:
+            return
+        horizon = self.engine.now - _RECENT_HORIZON_S
+        if len(recent) <= _RECENT_PRUNE_LEN and recent[0].end >= horizon:
+            return
+        lo, hi = 0, len(recent)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if recent[mid].end < horizon:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return
+        by_sender = self._tx_by_sender
+        for tx in recent[:lo]:
+            by_sender[tx.sender].remove(tx)
+        del recent[:lo]
 
     # ------------------------------------------------------------------
     # Reception

@@ -1,0 +1,614 @@
+"""Vectorized radio medium: SoA reception batches + spatial culling.
+
+:class:`FastRadioMedium` is the opt-in ``fast`` backend selected with
+``SimConfig(medium="fast")``.  It keeps the exact medium's public contract
+(attach/finalize/candidate_receivers/channel_clear/start_transmission,
+the same counters, the same fault overlay) but restructures the hot path:
+
+* **Structure-of-arrays batches.**  ``finalize()`` lowers each sender's
+  per-candidate rows into parallel numpy arrays (mean gain, noise floor in
+  mW and dB, pair-state slot indices), and ``_evaluate_receptions``
+  computes the whole candidate set of a transmission with array kernels
+  from :mod:`repro.phy.vector` — one OU advance, one Gilbert transition,
+  one SNR→PRR gather, one decode draw — instead of a Python loop.
+* **Spatial culling.**  A :class:`~repro.sim.spatial.SpatialGrid` over the
+  channel positions bounds candidate construction, carrier sense and
+  interference accumulation to nodes within the link budget's reach, so
+  far-away nodes are never enumerated: candidate construction is O(N·k)
+  in the number of in-range neighbors k, not O(N²).
+
+**Equivalence contract** (DESIGN.md §9): the fast backend is
+*distribution-equivalent* to the exact scalar path, not bit-identical.
+The channel processes (OU recurrence, Gilbert two-state chain), PRR
+quantization, LQI logistic and white-bit rule are mathematically the same
+— PRR table entries are byte-identical — but randomness comes from numpy
+``Generator`` streams (seeded from the master seed via the same
+``derive_seed`` scheme as the exact path's named streams), carrier sense
+uses the mean link gain, and interference uses mean-field gains with a
+Jensen correction rather than advancing the interferer pair's fading
+state.  The exact backend (``medium="exact"``, the default) remains the
+bit-identical golden/bench ``--compare`` contract.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+from numpy.random import Generator, PCG64
+
+from repro.link.frame import JamFrame
+from repro.phy.channel import ChannelModel
+from repro.phy.lqi import DEFAULT_LQI_MODEL, LQI_MAX, LQI_MIN, LqiModel, _LQI_SPAN
+from repro.phy.radio import RadioParams
+from repro.phy.vector import (
+    gilbert_advance,
+    mean_field_extra_db,
+    ou_advance,
+    prr_lookup,
+    prr_table,
+)
+from repro.phy.white_bit import DEFAULT_WHITE_BIT, LqiWhiteBit, WhiteBitPolicy
+from repro.sim.engine import Engine
+from repro.sim.medium import (
+    _NEIGHBOR_SNR_CUTOFF_DB,
+    RadioMedium,
+    _Transmission,
+)
+from repro.sim.packets import RxInfo
+from repro.sim.rng import RngManager, derive_seed
+from repro.sim.spatial import SpatialGrid
+
+#: Shadowing headroom (in sigmas) added to the link budget when sizing the
+#: spatial query radius: a pair outside the radius is mis-culled only when
+#: its shadowing draw exceeds this many sigmas (P ≈ 3·10⁻⁵ at 4σ).
+DEFAULT_SHADOW_MARGIN_SIGMAS = 4.0
+
+#: Bound on the per-(interferer, power) dense interference-vector cache.
+_INTER_CACHE_MAX = 65536
+
+_MISSING = object()
+
+
+class _SenderBatch:
+    """Per-sender structure-of-arrays candidate block."""
+
+    __slots__ = (
+        "rids",
+        "rid_list",
+        "receivers",
+        "mean_gain",
+        "noise_mw",
+        "noise_db",
+        "pair_idx",
+        "mod_uniform",
+        "mod_ids",
+        "mod_names",
+        "n",
+        "all_idx",
+        "rid_dense",
+    )
+
+    def __init__(
+        self,
+        rids: Any,
+        rid_list: List[int],
+        receivers: List[Any],
+        mean_gain: Any,
+        noise_mw: Any,
+        noise_db: Any,
+        pair_idx: Any,
+        mod_uniform: Optional[str],
+        mod_ids: Any,
+        mod_names: List[str],
+        rid_dense: Any,
+    ) -> None:
+        self.rids = rids
+        self.rid_list = rid_list
+        self.receivers = receivers
+        self.mean_gain = mean_gain
+        self.noise_mw = noise_mw
+        self.noise_db = noise_db
+        self.pair_idx = pair_idx
+        self.mod_uniform = mod_uniform
+        self.mod_ids = mod_ids
+        self.mod_names = mod_names
+        self.n = len(rid_list)
+        self.all_idx = np.arange(self.n)
+        #: Index of each candidate in the medium's dense receiver axis
+        #: (used to gather accumulated interference vectors).
+        self.rid_dense = rid_dense
+
+
+class FastRadioMedium(RadioMedium):
+    """Numpy-vectorized, spatially-culled medium backend (``medium="fast"``)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        channel: ChannelModel,
+        rng: RngManager,
+        lqi_model: LqiModel = DEFAULT_LQI_MODEL,
+        white_bit_policy: WhiteBitPolicy = DEFAULT_WHITE_BIT,
+        snr_cutoff_db: float = _NEIGHBOR_SNR_CUTOFF_DB,
+        shadow_margin_sigmas: float = DEFAULT_SHADOW_MARGIN_SIGMAS,
+    ) -> None:
+        super().__init__(engine, channel, rng, lqi_model, white_bit_policy)
+        self.snr_cutoff_db = snr_cutoff_db
+        self.shadow_margin_sigmas = shadow_margin_sigmas
+        #: sender id → SoA candidate batch (built by :meth:`finalize`).
+        self._soa: Dict[int, _SenderBatch] = {}
+        #: unordered pair → slot in the shared channel-state arrays.
+        self._pair_slot: Dict[Tuple[int, int], int] = {}
+        self._ou_x: Any = None
+        self._ou_t: Any = None
+        self._g_bimodal: Any = None
+        self._g_faded: Any = None
+        self._g_t: Any = None
+        #: sender id → frozenset of node ids whose CCA hears its carrier.
+        self._cca_heard: Dict[int, frozenset] = {}
+        #: Dense receiver axis: every attached receiver id in attach order,
+        #: plus its coordinates as parallel arrays (built by finalize).
+        self._dense_ids: List[int] = []
+        self._dense_x: Any = None
+        self._dense_y: Any = None
+        #: (interferer, tx power) → mean interference power in mW at every
+        #: dense receiver (or None when none is in reach); built once per
+        #: interferer in O(N) and gathered per batch — see _dense_inter_mw.
+        self._inter_cache: Dict[Tuple[int, float], Any] = {}
+        #: (modulation, frame bytes) → quantized PRR table.
+        self._prr_tables: Dict[Tuple[str, int], Any] = {}
+        self._grid: Optional[SpatialGrid] = None
+        self._radius_m = 0.0
+        self._ou_mean_extra_db = 0.0
+        self._bimodal_mean_extra_db = 0.0
+        self._expected_bimodal_extra_db = 0.0
+        # Batched draw streams; seeded from the master seed under the same
+        # derive_seed scheme as the exact path's named Random streams
+        # ("ou-init"/"ou"/"bimodal"/"rx"), namespaced under "fast".
+        master = rng.master_seed
+        self._gen_ou_init = Generator(PCG64(derive_seed(master, "fast", "ou-init")))
+        self._gen_ou = Generator(PCG64(derive_seed(master, "fast", "ou")))
+        self._gen_bimodal_init = Generator(PCG64(derive_seed(master, "fast", "bimodal")))
+        self._gen_fade = Generator(PCG64(derive_seed(master, "fast", "bimodal-dwell")))
+        self._gen_rx = Generator(PCG64(derive_seed(master, "fast", "rx")))
+        self._gen_lqi = Generator(PCG64(derive_seed(master, "fast", "lqi")))
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _link_budget_radius_m(self) -> float:
+        """Spatial query radius from the link budget.
+
+        Any pair that could pass the mean-SNR candidate cutoff — given
+        shadowing up to ``shadow_margin_sigmas``·σ above its mean — lies
+        within this radius.  Interference accumulation shares it: beyond
+        this distance a transmitter's mean contribution at a receiver is
+        below the candidate cutoff relative to the noise floor (< 3.2% of
+        noise power at the −15 dB default, a < 0.14 dB SINR shift).
+        """
+        channel = self.channel
+        ptx_max = max(
+            (p.radio.effective_tx_power_dbm for p in self._participants.values()),
+            default=0.0,
+        )
+        nf_min = min(
+            (p.radio.noise_floor_dbm for p in self._participants.values()),
+            default=-98.0,
+        )
+        margin = self.shadow_margin_sigmas * channel.shadowing_sigma_db
+        pathloss = channel.pathloss
+        budget_db = ptx_max - nf_min - self.snr_cutoff_db + margin
+        if budget_db <= pathloss.pl_d0_db:
+            return pathloss.d0_m
+        exponent_db = (budget_db - pathloss.pl_d0_db) / (10.0 * pathloss.exponent)
+        return pathloss.d0_m * 10.0 ** exponent_db
+
+    def finalize(self) -> None:
+        """Build the spatial index, SoA batches and shared channel state.
+
+        Idempotent like the exact path's ``finalize`` — a second call
+        without an interleaving :meth:`attach` is a no-op, so the
+        eagerly-drawn OU/Gilbert initial state is never re-drawn mid-run.
+        """
+        if self._finalized:
+            return
+        channel = self.channel
+        positions = channel.positions
+        self._radius_m = self._link_budget_radius_m()
+        grid_ids = {nid: positions[nid] for nid in self._participants}
+        self._grid = SpatialGrid(grid_ids, self._radius_m)
+        self._inter_cache = {}
+        self._pair_slot = {}
+        pair_slot = self._pair_slot
+        self._candidates = {}
+        self._rx_rows = {}  # unused by this backend; kept empty for parity
+        self._soa = {}
+        self._cca_heard = {}
+
+        #: Receiver attach order — candidate lists keep the exact path's
+        #: enumeration order so the two backends deliver in the same order.
+        receiver_order = {rid: i for i, rid in enumerate(self._receivers)}
+        self._dense_ids = list(self._receivers)
+        self._dense_x = np.asarray(
+            [positions[rid][0] for rid in self._dense_ids], dtype=np.float64
+        )
+        self._dense_y = np.asarray(
+            [positions[rid][1] for rid in self._dense_ids], dtype=np.float64
+        )
+        mod_name_index: Dict[str, int] = {}
+
+        cca_heard: Dict[int, List[int]] = {}
+        for sid in self._participants:
+            cca_heard[sid] = []
+
+        for sid in sorted(self._participants):
+            sender = self._participants[sid]
+            ptx = sender.radio.effective_tx_power_dbm
+            near = self._grid.neighbors(sid)
+            near.sort(key=lambda rid: receiver_order.get(rid, len(receiver_order)))
+            row: List[Tuple[int, float]] = []
+            rid_list: List[int] = []
+            receivers: List[Any] = []
+            gains: List[float] = []
+            noise_mw: List[float] = []
+            noise_db: List[float] = []
+            pair_idx: List[int] = []
+            mods: List[str] = []
+            for rid in near:
+                receiver = self._receivers.get(rid)
+                gain = None
+                if receiver is not None:
+                    gain = channel.mean_gain_db(sid, rid)
+                    mean_snr = ptx + gain - receiver.radio.noise_floor_dbm
+                    if mean_snr >= self.snr_cutoff_db:
+                        row.append((rid, gain))
+                        rid_list.append(rid)
+                        receivers.append(receiver)
+                        gains.append(gain)
+                        n_mw = 10.0 ** (receiver.radio.noise_floor_dbm / 10.0)
+                        noise_mw.append(n_mw)
+                        noise_db.append(10.0 * math.log10(n_mw))
+                        pair = (sid, rid) if sid <= rid else (rid, sid)
+                        slot = pair_slot.get(pair)
+                        if slot is None:
+                            slot = pair_slot[pair] = len(pair_slot)
+                        pair_idx.append(slot)
+                        mods.append(receiver.radio.params.modulation)
+                # Carrier sense reach: rid hears sid's carrier when the
+                # mean RSSI clears rid's CCA threshold (mean-field CCA —
+                # see the class docstring's equivalence contract).
+                listener = self._participants.get(rid)
+                if listener is not None:
+                    if gain is None:
+                        gain = channel.mean_gain_db(sid, rid)
+                    if ptx + gain >= listener.radio.params.cca_threshold_dbm:
+                        cca_heard[sid].append(rid)
+            self._candidates[sid] = row
+            mod_uniform: Optional[str] = mods[0] if mods and len(set(mods)) == 1 else None
+            mod_names = sorted(set(mods))
+            mod_name_index = {name: i for i, name in enumerate(mod_names)}
+            mod_ids = np.fromiter(
+                (mod_name_index[m] for m in mods), dtype=np.int64, count=len(mods)
+            )
+            self._soa[sid] = _SenderBatch(
+                rids=np.asarray(rid_list, dtype=np.int64),
+                rid_list=rid_list,
+                receivers=receivers,
+                mean_gain=np.asarray(gains, dtype=np.float64),
+                noise_mw=np.asarray(noise_mw, dtype=np.float64),
+                noise_db=np.asarray(noise_db, dtype=np.float64),
+                pair_idx=np.asarray(pair_idx, dtype=np.int64),
+                mod_uniform=mod_uniform,
+                mod_ids=mod_ids,
+                mod_names=mod_names,
+                rid_dense=np.fromiter(
+                    (receiver_order[rid] for rid in rid_list),
+                    dtype=np.int64,
+                    count=len(rid_list),
+                ),
+            )
+        self._cca_heard = {sid: frozenset(heard) for sid, heard in cca_heard.items()}
+
+        # ---- shared per-pair channel state (one slot per unordered pair)
+        n_pairs = len(pair_slot)
+        if channel.temporal_sigma_db > 0.0:
+            self._ou_x = self._gen_ou_init.standard_normal(n_pairs) * channel.temporal_sigma_db
+            self._ou_t = np.zeros(n_pairs)
+        else:
+            self._ou_x = self._ou_t = None
+        if channel.bimodal_fraction > 0.0:
+            membership = self._gen_bimodal_init.random(n_pairs) < channel.bimodal_fraction
+            pi_faded = channel.fade_dwell_s / (channel.fade_dwell_s + channel.good_dwell_s)
+            faded0 = self._gen_bimodal_init.random(n_pairs) < pi_faded
+            self._g_bimodal = membership
+            self._g_faded = faded0 & membership
+            self._g_t = np.zeros(n_pairs)
+        else:
+            self._g_bimodal = self._g_faded = self._g_t = None
+
+        # ---- mean-field interference corrections (DESIGN.md §9)
+        ou_extra, bimodal_extra = mean_field_extra_db(
+            channel.temporal_sigma_db,
+            channel.bimodal_fraction,
+            channel.fade_depth_db,
+            channel.fade_dwell_s,
+            channel.good_dwell_s,
+        )
+        self._ou_mean_extra_db = ou_extra
+        self._bimodal_mean_extra_db = bimodal_extra
+        if channel.bimodal_fraction > 0.0:
+            f = channel.bimodal_fraction
+            factor = (1.0 - f) + f * 10.0 ** (bimodal_extra / 10.0)
+            self._expected_bimodal_extra_db = 10.0 * math.log10(factor)
+        else:
+            self._expected_bimodal_extra_db = 0.0
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Carrier sense (spatially culled, mean-field)
+    # ------------------------------------------------------------------
+    def channel_clear(self, node_id: int) -> bool:
+        """CCA at ``node_id`` against the precomputed carrier-reach sets."""
+        if node_id not in self._participants:
+            raise ValueError(
+                f"channel_clear: node {node_id} is not attached to the medium"
+            )
+        active = self._active
+        if not active:
+            return True
+        if not self._finalized:
+            self.finalize()
+        heard = self._cca_heard
+        for tx in active:
+            if tx.sender == node_id:
+                continue
+            reach = heard.get(tx.sender)
+            if reach is not None and node_id in reach:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Interference gather
+    # ------------------------------------------------------------------
+    def _dense_inter_mw(self, oid: int, power_dbm: float) -> Any:
+        """Mean interference power (mW) from ``oid`` at every dense receiver.
+
+        One vector per (interferer, tx power) over the full receiver axis,
+        built in O(N) and cached in *linear* milliwatts with the transmit
+        power folded in (powers are fixed after hardware variation, and the
+        power is part of the cache key regardless).  Accumulating one
+        overlapping transmission in the hot path is then a single array
+        add in dense space, followed by one gather through the batch's
+        ``rid_dense`` index.  Entries beyond the interferer's spatial reach
+        — and the interferer's own receiver slot — are exactly 0; ``None``
+        means every receiver is out of reach.  Gains include the mean-field
+        fading corrections (see DESIGN.md §9).
+        """
+        key = (oid, power_dbm)
+        cached = self._inter_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        opos = self.channel.positions.get(oid)
+        out: Any = None
+        if opos is not None and self._dense_ids:
+            ox, oy = opos
+            dx = self._dense_x - ox
+            dy = self._dense_y - oy
+            in_range = np.nonzero(dx * dx + dy * dy <= self._radius_m * self._radius_m)[0]
+            if in_range.size:
+                dense_ids = self._dense_ids
+                mean_gain_db = self.channel.mean_gain_db
+                pair_slot = self._pair_slot
+                bimodal = self._g_bimodal
+                dense = np.zeros(len(dense_ids))
+                any_in = False
+                for j in in_range.tolist():
+                    rid = dense_ids[j]
+                    if rid == oid:
+                        continue
+                    extra = self._ou_mean_extra_db
+                    if bimodal is not None:
+                        slot = pair_slot.get((oid, rid) if oid <= rid else (rid, oid))
+                        if slot is None:
+                            extra += self._expected_bimodal_extra_db
+                        elif bimodal[slot]:
+                            extra += self._bimodal_mean_extra_db
+                    dense[j] = 10.0 ** (
+                        (power_dbm + mean_gain_db(oid, rid) + extra) / 10.0
+                    )
+                    any_in = True
+                if any_in:
+                    out = dense
+        if len(self._inter_cache) < _INTER_CACHE_MAX:
+            self._inter_cache[key] = out
+        return out
+
+    # ------------------------------------------------------------------
+    # Reception (vectorized)
+    # ------------------------------------------------------------------
+    def _prr_table_for(self, modulation: str, frame_bytes: int) -> Any:
+        key = (modulation, frame_bytes)
+        table = self._prr_tables.get(key)
+        if table is None:
+            table = self._prr_tables[key] = prr_table(modulation, frame_bytes)
+        return table
+
+    def _evaluate_receptions(self, tx: _Transmission) -> None:
+        frame = tx.frame
+        if isinstance(frame, JamFrame):
+            return  # nobody decodes interference
+        if not self._finalized:
+            self.finalize()
+        sender_id = tx.sender
+        batch = self._soa.get(sender_id)
+        if batch is None or batch.n == 0:
+            return  # zero-candidate sender: nothing in link-budget reach
+        overlapping = self._overlapping(tx)
+        t = tx.end
+        channel = self.channel
+
+        # ---- half duplex: drop candidates that transmitted during tx ----
+        if overlapping:
+            busy = {other.sender for other in overlapping}
+            if busy.isdisjoint(batch.rid_list):
+                idx = batch.all_idx
+            else:
+                keep = np.fromiter(
+                    (rid not in busy for rid in batch.rid_list),
+                    dtype=bool,
+                    count=batch.n,
+                )
+                idx = np.nonzero(keep)[0]
+                if idx.size == 0:
+                    return
+        else:
+            idx = batch.all_idx
+        full = idx is batch.all_idx
+
+        # ---- time-varying gain: OU + Gilbert, advanced for queried pairs
+        slots = batch.pair_idx if full else batch.pair_idx[idx]
+        if self._ou_x is not None:
+            extra = ou_advance(
+                self._ou_x,
+                self._ou_t,
+                slots,
+                t,
+                channel.temporal_tau_s,
+                channel.temporal_sigma_db,
+                channel._ou_freeze_s,
+                self._gen_ou,
+            )
+        else:
+            extra = np.zeros(idx.size)
+        if self._g_bimodal is not None:
+            bi = self._g_bimodal[slots]
+            if bi.any():
+                faded = gilbert_advance(
+                    self._g_faded,
+                    self._g_t,
+                    slots[bi],
+                    t,
+                    channel.fade_dwell_s,
+                    channel.good_dwell_s,
+                    self._gen_fade,
+                )
+                fade = np.zeros(idx.size)
+                fade[bi] = np.where(faded, -channel.fade_depth_db, 0.0)
+                extra = extra + fade
+        gain = (batch.mean_gain if full else batch.mean_gain[idx]) + extra
+
+        # ---- fault overlay: identical offset/blackout semantics ---------
+        faults = self._faults
+        if faults is not None:
+            keep_mask = np.ones(idx.size, dtype=bool)
+            offsets = np.zeros(idx.size)
+            offset_for = faults.offset_for
+            rid_seq = batch.rid_list if full else batch.rids[idx].tolist()
+            for j, rid in enumerate(rid_seq):
+                offset = offset_for(sender_id, rid)
+                if offset is None:
+                    keep_mask[j] = False
+                    faults.blackout_drops += 1
+                elif offset != 0.0:
+                    offsets[j] = offset
+            if not keep_mask.all():
+                idx = idx[keep_mask]
+                full = False
+                if idx.size == 0:
+                    return
+                gain = gain[keep_mask] + offsets[keep_mask]
+            else:
+                gain = gain + offsets
+
+        rssi = tx.power_dbm + gain
+
+        # ---- SINR: noise plus spatially-culled mean-field interference --
+        noise_mw = batch.noise_mw if full else batch.noise_mw[idx]
+        inter_mw: Any = None
+        if overlapping:
+            inter_dense: Any = None
+            for other in overlapping:
+                dense = self._dense_inter_mw(other.sender, other.power_dbm)
+                if dense is None:
+                    continue
+                # First overlap aliases the cached dense array; it is never
+                # mutated in place, so no defensive copy is needed.
+                inter_dense = dense if inter_dense is None else inter_dense + dense
+            if inter_dense is not None:
+                sel = batch.rid_dense if full else batch.rid_dense[idx]
+                inter_mw = inter_dense[sel]
+        if inter_mw is not None:
+            sinr = rssi - 10.0 * np.log10(noise_mw + inter_mw)
+        else:
+            sinr = rssi - (batch.noise_db if full else batch.noise_db[idx])
+
+        # ---- decode decision: quantized PRR gather + one uniform draw ---
+        params: RadioParams = self._participants[sender_id].radio.params
+        frame_bytes = frame.length_bytes + params.phy_overhead_bytes
+        if batch.mod_uniform is not None:
+            prr = prr_lookup(self._prr_table_for(batch.mod_uniform, frame_bytes), sinr)
+        else:
+            prr = np.zeros(idx.size)
+            mod_ids = batch.mod_ids if full else batch.mod_ids[idx]
+            for mid, name in enumerate(batch.mod_names):
+                mask = mod_ids == mid
+                if mask.any():
+                    prr[mask] = prr_lookup(
+                        self._prr_table_for(name, frame_bytes), sinr[mask]
+                    )
+        decoded = self._gen_rx.random(idx.size) < prr
+        if inter_mw is not None:
+            self.collisions += int(
+                np.count_nonzero(~decoded & (inter_mw > noise_mw))
+            )
+        dec = np.nonzero(decoded)[0]
+        if dec.size == 0:
+            return
+
+        # ---- LQI sample + white bit for the decoded subset --------------
+        lqi_model = self.lqi_model
+        sinr_dec = sinr[dec]
+        value = (
+            LQI_MIN
+            + _LQI_SPAN
+            / (1.0 + np.exp(-(sinr_dec - lqi_model.midpoint_snr_db) / lqi_model.slope_db))
+            + self._gen_lqi.standard_normal(dec.size) * lqi_model.noise_sigma
+        )
+        lqi = np.rint(np.clip(value, LQI_MIN, LQI_MAX)).astype(np.int64)
+        policy = self.white_bit_policy
+        wb_threshold = policy.threshold if type(policy) is LqiWhiteBit else None
+        if wb_threshold is not None:
+            white = lqi >= wb_threshold
+        else:
+            white_eval = policy.evaluate
+            white = np.fromiter(
+                (white_eval(float(s), int(q)) for s, q in zip(sinr_dec, lqi)),
+                dtype=bool,
+                count=dec.size,
+            )
+
+        # ---- delivery (candidate order, late-bound callbacks) -----------
+        receivers = batch.receivers
+        rssi_list = rssi[dec].tolist()
+        sinr_list = sinr_dec.tolist()
+        lqi_list = lqi.tolist()
+        white_list = white.tolist()
+        pos_list = (dec if full else idx[dec]).tolist()
+        rx_info_new = RxInfo.__new__
+        self.deliveries += dec.size
+        self.white_bits_set += white_list.count(True)
+        for k in range(len(pos_list)):
+            info = rx_info_new(RxInfo)
+            info.__dict__.update(
+                timestamp=t,
+                rssi_dbm=rssi_list[k],
+                snr_db=sinr_list[k],
+                lqi=lqi_list[k],
+                white_bit=white_list[k],
+            )
+            receivers[pos_list[k]].on_frame_received(frame, info)
+
+
+__all__ = ["FastRadioMedium", "DEFAULT_SHADOW_MARGIN_SIGMAS"]

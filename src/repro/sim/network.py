@@ -42,6 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: stack with no estimator.
 PROTOCOLS = ("ctp", "ctp-unconstrained", "ctp-unidir", "ctp-white", "4b", "mhlqi", "geo")
 
+#: Medium backends ``SimConfig.medium`` selects between.
+MEDIUM_BACKENDS = ("exact", "fast")
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -86,10 +89,18 @@ class SimConfig:
     #: Run the :class:`~repro.faults.invariants.InvariantChecker` alongside
     #: the simulation (raises ``InvariantViolation`` on a failed property).
     check_invariants: bool = False
+    #: Medium backend: "exact" (scalar, bit-reproducible — the golden
+    #: contract) or "fast" (:class:`~repro.sim.medium_fast.FastRadioMedium`,
+    #: vectorized + spatially culled, distribution-equivalent; DESIGN.md §9).
+    medium: str = "exact"
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}")
+        if self.medium not in MEDIUM_BACKENDS:
+            raise ValueError(
+                f"unknown medium backend {self.medium!r}; choose from {MEDIUM_BACKENDS}"
+            )
         if self.duration_s <= self.warmup_s:
             raise ValueError("duration must exceed warmup")
         if self.white_bit not in ("lqi", "snr", "never"):
@@ -126,7 +137,14 @@ class CollectionNetwork:
             "snr": SnrWhiteBit.from_prr_target(),
             "never": NeverWhiteBit(),
         }
-        self.medium = RadioMedium(
+        if config.medium == "fast":
+            # Local import: numpy stays off the import path of exact runs.
+            from repro.sim.medium_fast import FastRadioMedium
+
+            medium_cls: Any = FastRadioMedium
+        else:
+            medium_cls = RadioMedium
+        self.medium = medium_cls(
             self.engine,
             self.channel,
             self.rng,

@@ -1,0 +1,77 @@
+"""Uniform-grid spatial index over node positions.
+
+The exact medium enumerates every attached receiver for every sender when
+building candidate lists — O(N²) pairs, which is what blocks city-scale
+(1k–10k node) topologies.  The fast backend instead buckets positions into
+a uniform grid whose cell size equals the query radius, so a radius query
+touches at most the 3×3 block of cells around the origin: O(N·k) total
+candidate construction for k nodes within link-budget range.
+
+The index is deliberately dumb and deterministic: query results are sorted
+by node id, ties cannot occur, and nothing here draws randomness, so two
+builds over the same positions are identical (the determinism contract in
+DESIGN.md §2 extends to candidate enumeration order).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+Position = Tuple[float, float]
+
+
+class SpatialGrid:
+    """Fixed-radius neighbor queries over static 2-D positions."""
+
+    def __init__(self, positions: Mapping[int, Position], radius_m: float) -> None:
+        if radius_m <= 0.0:
+            raise ValueError(f"radius must be positive: {radius_m}")
+        self.radius_m = radius_m
+        self._positions: Dict[int, Position] = dict(positions)
+        self._cells: Dict[Tuple[int, int], List[int]] = {}
+        inv = 1.0 / radius_m
+        for nid, (x, y) in self._positions.items():
+            key = (math.floor(x * inv), math.floor(y * inv))
+            self._cells.setdefault(key, []).append(nid)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def neighbors(self, nid: int, exclude_self: bool = True) -> List[int]:
+        """Node ids within ``radius_m`` of ``nid``, sorted ascending."""
+        x, y = self._positions[nid]
+        return self.neighbors_of_point(x, y, exclude=nid if exclude_self else None)
+
+    def neighbors_of_point(self, x: float, y: float, exclude: object = None) -> List[int]:
+        """Node ids within ``radius_m`` of ``(x, y)``, sorted ascending."""
+        inv = 1.0 / self.radius_m
+        cx, cy = math.floor(x * inv), math.floor(y * inv)
+        r2 = self.radius_m * self.radius_m
+        out: List[int] = []
+        cells = self._cells
+        positions = self._positions
+        for gx in (cx - 1, cx, cx + 1):
+            for gy in (cy - 1, cy, cy + 1):
+                bucket = cells.get((gx, gy))
+                if bucket is None:
+                    continue
+                for other in bucket:
+                    if other == exclude:
+                        continue
+                    ox, oy = positions[other]
+                    dx, dy = ox - x, oy - y
+                    if dx * dx + dy * dy <= r2:
+                        out.append(other)
+        out.sort()
+        return out
+
+    def pairs(self) -> Iterable[Tuple[int, int]]:
+        """All unordered in-range pairs ``(a, b)`` with ``a < b`` (sorted)."""
+        for nid in sorted(self._positions):
+            for other in self.neighbors(nid):
+                if other > nid:
+                    yield (nid, other)
+
+
+__all__ = ["SpatialGrid"]

@@ -44,3 +44,19 @@ def visit(nodes):
     for node in set(nodes):
         out.append(node)
     return out + [n for n in frozenset(nodes)]
+
+
+import numpy as np
+from numpy.random import shuffle as np_shuffle
+
+
+def np_draw():
+    return np.random.normal(0.0, 1.0)
+
+
+def np_reseed():
+    np.random.seed(0)
+
+
+def np_unseeded():
+    return np.random.default_rng()

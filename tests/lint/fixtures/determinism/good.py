@@ -20,3 +20,15 @@ def visit(nodes):
 
 def over_list(items):
     return [x for x in list(items)]
+
+
+import numpy as np
+from numpy.random import PCG64, Generator
+
+
+def np_stream(seed: int) -> Generator:
+    return Generator(PCG64(seed))
+
+
+def np_default_seeded(seed: int):
+    return np.random.default_rng(seed)

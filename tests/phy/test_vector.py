@@ -1,0 +1,122 @@
+"""Array kernels for the fast medium: parity with the scalar channel code."""
+
+import math
+
+import numpy as np
+import pytest
+from numpy.random import PCG64, Generator
+
+from repro.phy.modulation import prr_fast
+from repro.phy.vector import (
+    PRR_TABLE_SNR_MAX_CENTI,
+    PRR_TABLE_SNR_MIN_CENTI,
+    dbm_to_mw,
+    gilbert_advance,
+    mean_field_extra_db,
+    ou_advance,
+    prr_lookup,
+    prr_table,
+)
+
+
+# ----------------------------------------------------------------------
+# PRR table/gather: bit-identical to the scalar fast path
+# ----------------------------------------------------------------------
+def test_prr_lookup_matches_scalar_prr_fast():
+    table = prr_table("oqpsk-dsss", 44)
+    snrs = np.asarray([-12.0, -8.0, -7.99, -3.2, 0.0, 1.234, 7.77, 24.99, 25.0, 30.0])
+    vec = prr_lookup(table, snrs)
+    for snr, p in zip(snrs.tolist(), vec.tolist()):
+        assert p == prr_fast("oqpsk-dsss", snr, 44)  # exact equality
+
+
+def test_prr_lookup_dense_sweep_bit_identical():
+    table = prr_table("oqpsk-dsss", 28)
+    centi = np.arange(PRR_TABLE_SNR_MIN_CENTI - 50, PRR_TABLE_SNR_MAX_CENTI + 50, 7)
+    snrs = centi / 100.0
+    vec = prr_lookup(table, snrs)
+    for snr, p in zip(snrs.tolist(), vec.tolist()):
+        assert p == prr_fast("oqpsk-dsss", snr, 28)
+
+
+def test_prr_table_monotone_and_bounded():
+    table = prr_table("oqpsk-dsss", 44)
+    assert table.size == PRR_TABLE_SNR_MAX_CENTI - PRR_TABLE_SNR_MIN_CENTI + 1
+    assert np.all(table >= 0.0) and np.all(table <= 1.0)
+    assert np.all(np.diff(table) >= -1e-12)  # PRR never decreases with SNR
+
+
+# ----------------------------------------------------------------------
+# OU advance: marginal statistics and freeze behavior
+# ----------------------------------------------------------------------
+def test_ou_advance_freeze_keeps_state():
+    x = np.asarray([1.0, -2.0])
+    t_last = np.asarray([10.0, 10.0])
+    gen = Generator(PCG64(1))
+    out = ou_advance(x, t_last, np.arange(2), 10.0005, 60.0, 1.5, 0.6, gen)
+    assert out.tolist() == [1.0, -2.0]  # within freeze window: untouched
+    assert t_last.tolist() == [10.0, 10.0]
+
+
+def test_ou_advance_long_horizon_stationary_std():
+    n = 20000
+    x = np.zeros(n)
+    t_last = np.zeros(n)
+    gen = Generator(PCG64(2))
+    out = ou_advance(x, t_last, np.arange(n), 1000.0, 60.0, 1.5, 0.01, gen)
+    # dt >> tau: the state is a fresh N(0, sigma) draw.
+    assert abs(float(np.std(out)) - 1.5) < 0.05
+    assert abs(float(np.mean(out))) < 0.05
+
+
+def test_ou_advance_short_step_decay():
+    n = 20000
+    x = np.full(n, 3.0)
+    t_last = np.zeros(n)
+    gen = Generator(PCG64(3))
+    dt = 6.0
+    out = ou_advance(x, t_last, np.arange(n), dt, 60.0, 1.5, 0.01, gen)
+    assert abs(float(np.mean(out)) - 3.0 * math.exp(-dt / 60.0)) < 0.05
+
+
+# ----------------------------------------------------------------------
+# Gilbert advance: stationary occupancy and short-dt stickiness
+# ----------------------------------------------------------------------
+def test_gilbert_advance_stationary_fraction():
+    n = 20000
+    faded = np.zeros(n, dtype=bool)
+    t_last = np.zeros(n)
+    gen = Generator(PCG64(4))
+    out = gilbert_advance(faded, t_last, np.arange(n), 1e6, 80.0, 240.0, gen)
+    pi_f = 80.0 / (80.0 + 240.0)
+    assert abs(float(np.mean(out)) - pi_f) < 0.02
+
+
+def test_gilbert_advance_short_dt_sticky():
+    n = 20000
+    faded = np.ones(n, dtype=bool)
+    t_last = np.zeros(n)
+    gen = Generator(PCG64(5))
+    out = gilbert_advance(faded, t_last, np.arange(n), 0.01, 80.0, 240.0, gen)
+    assert float(np.mean(out)) > 0.99  # dwell times are minutes, dt is 10 ms
+
+
+# ----------------------------------------------------------------------
+# Mean-field corrections and unit helpers
+# ----------------------------------------------------------------------
+def test_mean_field_extra_matches_closed_forms():
+    ou, bim = mean_field_extra_db(1.5, 0.3, 15.0, 80.0, 240.0)
+    assert ou == pytest.approx(1.5 * 1.5 * math.log(10.0) / 20.0)
+    pi_f = 80.0 / 320.0
+    factor = (1 - pi_f) + pi_f * 10 ** (-1.5)
+    assert bim == pytest.approx(10.0 * math.log10(factor))
+    ou0, bim0 = mean_field_extra_db(0.0, 0.0, 15.0, 80.0, 240.0)
+    assert ou0 == 0.0 and bim0 == 0.0
+
+
+def test_dbm_to_mw():
+    assert dbm_to_mw(0.0) == pytest.approx(1.0)
+    assert dbm_to_mw(-30.0) == pytest.approx(1e-3)
+    vals = dbm_to_mw(np.asarray([10.0, -math.inf]))
+    assert vals[0] == pytest.approx(10.0)
+    assert vals[1] == 0.0

@@ -174,3 +174,16 @@ def test_totals_accumulate_across_batches():
     assert runner.totals.total == 3
     assert runner.totals.executed == 3
     assert runner.stats.total == 1  # per-batch stats reset
+
+
+def test_fast_medium_serial_parallel_equivalence_with_faults():
+    # The vectorized backend must stay a pure function of the seed across
+    # process boundaries, fault injection included: a worker process and
+    # the parent must produce numerically identical runs.
+    specs = [
+        RunSpec.build(MICRO, "4b", seed, medium="fast", faults="flaky_burst")
+        for seed in MICRO.seeds
+    ]
+    serial = run_specs(specs, ExperimentRunner(workers=1))
+    parallel = run_specs(specs, ExperimentRunner(workers=2))
+    assert serial == parallel

@@ -138,3 +138,24 @@ def test_protocol_registry_complete():
         "mhlqi",
         "geo",
     }
+
+
+def test_unknown_medium_rejected():
+    with pytest.raises(ValueError, match="unknown medium"):
+        SimConfig(protocol="4b", medium="warp-drive")
+
+
+def test_fast_medium_backend_selected():
+    from repro.sim.medium_fast import FastRadioMedium
+
+    net = CollectionNetwork(tiny_topology(), SimConfig(protocol="4b", medium="fast"))
+    assert isinstance(net.medium, FastRadioMedium)
+
+
+def test_default_medium_is_exact():
+    from repro.sim.medium import RadioMedium
+    from repro.sim.medium_fast import FastRadioMedium
+
+    net = CollectionNetwork(tiny_topology(), SimConfig(protocol="4b"))
+    assert type(net.medium) is RadioMedium
+    assert not isinstance(net.medium, FastRadioMedium)

@@ -1,0 +1,77 @@
+"""SpatialGrid: radius queries match brute force, deterministically."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.sim.spatial import SpatialGrid
+
+
+def brute_force(positions, x, y, radius, exclude=None):
+    out = []
+    for nid, (px, py) in positions.items():
+        if nid == exclude:
+            continue
+        if (px - x) ** 2 + (py - y) ** 2 <= radius * radius:
+            out.append(nid)
+    return sorted(out)
+
+
+def random_positions(n, seed):
+    rng = Random(seed)
+    return {nid: (rng.uniform(0, 300), rng.uniform(0, 300)) for nid in range(n)}
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("radius", [10.0, 45.0, 400.0])
+def test_neighbors_match_brute_force(seed, radius):
+    positions = random_positions(120, seed)
+    index = SpatialGrid(positions, radius)
+    for nid in positions:
+        x, y = positions[nid]
+        assert index.neighbors(nid) == brute_force(positions, x, y, radius, exclude=nid)
+
+
+def test_neighbors_of_point_includes_exact_boundary():
+    positions = {0: (0.0, 0.0), 1: (10.0, 0.0), 2: (10.0001, 0.0)}
+    index = SpatialGrid(positions, 10.0)
+    assert index.neighbors_of_point(0.0, 0.0, exclude=0) == [1]
+
+
+def test_neighbors_sorted_and_exclude_self():
+    positions = {5: (0.0, 0.0), 3: (1.0, 0.0), 9: (0.0, 1.0), 1: (1.0, 1.0)}
+    index = SpatialGrid(positions, 5.0)
+    assert index.neighbors(5) == [1, 3, 9]
+    assert index.neighbors(5, exclude_self=False) == [1, 3, 5, 9]
+
+
+def test_pairs_complete_and_ordered():
+    positions = random_positions(40, 7)
+    radius = 60.0
+    index = SpatialGrid(positions, radius)
+    pairs = list(index.pairs())
+    assert pairs == sorted(pairs)
+    expected = {
+        (a, b)
+        for a in positions
+        for b in positions
+        if a < b
+        and math.dist(positions[a], positions[b]) <= radius
+    }
+    assert set(pairs) == expected
+
+
+def test_negative_coordinates():
+    positions = {0: (-5.0, -5.0), 1: (-6.0, -5.5), 2: (50.0, 50.0)}
+    index = SpatialGrid(positions, 3.0)
+    assert index.neighbors(0) == [1]
+
+
+def test_zero_radius_rejected():
+    with pytest.raises(ValueError):
+        SpatialGrid({0: (0.0, 0.0)}, 0.0)
+
+
+def test_len():
+    assert len(SpatialGrid(random_positions(17, 1), 10.0)) == 17
