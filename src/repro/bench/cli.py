@@ -47,7 +47,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--threshold", type=float, default=0.3,
                         help="relative throughput drop that counts as a regression "
                         "(default: 0.3 = 30%%)")
+    parser.add_argument("--live-telemetry", metavar="PATH", default=None,
+                        help="stream live telemetry (JSONL) from macro CollectionNetwork "
+                        "scenarios to PATH; telemetry adds engine events, so check "
+                        "counters shift vs. untelemetered baselines")
+    parser.add_argument("--telemetry-period", type=float, default=30.0, metavar="SECONDS",
+                        help="simulated seconds between snapshots (with --live-telemetry)")
     args = parser.parse_args(argv)
+
+    if args.live_telemetry is not None:
+        from repro.bench import scenarios as _scenarios
+
+        _scenarios.EXTRA_SIM_OVERRIDES.update(
+            telemetry_period_s=args.telemetry_period,
+            telemetry_path=args.live_telemetry,
+        )
 
     if args.list:
         for name, fn in sorted(SCENARIOS.items()):
@@ -75,6 +89,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  {result.summary_row()}")
         for key, value in sorted(result.latency_s.items()):
             print(f"      latency {key}: {value * 1e6:.1f} µs/event")
+        if result.resources:
+            from repro.obs.resources import format_resources
+
+            print(f"      resources: {format_resources(result.resources)}")
 
     if not args.compare:
         return 0

@@ -48,6 +48,10 @@ class BenchResult:
     latency_s: Dict[str, float] = field(default_factory=dict)
     check: Dict[str, object] = field(default_factory=dict)
     wall_s: float = 0.0
+    #: Scenario resource accounting (``repro.obs.resources`` keys: wall/CPU
+    #: seconds, peak RSS).  Reported, never gated — optional field, so no
+    #: schema bump; old files load with an empty dict.
+    resources: Dict[str, float] = field(default_factory=dict)
     env: Dict[str, str] = field(default_factory=bench_env)
     timestamp: float = field(default_factory=time.time)
     schema: int = SCHEMA_VERSION
@@ -64,6 +68,7 @@ class BenchResult:
             "latency_s": self.latency_s,
             "check": self.check,
             "wall_s": self.wall_s,
+            "resources": self.resources,
             "env": self.env,
             "timestamp": self.timestamp,
         }
@@ -94,6 +99,7 @@ def load_result(path: Union[str, Path]) -> BenchResult:
         latency_s={k: float(v) for k, v in data.get("latency_s", {}).items()},
         check=data.get("check", {}),
         wall_s=float(data.get("wall_s", 0.0)),
+        resources={k: float(v) for k, v in data.get("resources", {}).items()},
         env=data.get("env", {}),
         timestamp=float(data.get("timestamp", 0.0)),
         schema=schema,

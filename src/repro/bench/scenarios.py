@@ -28,6 +28,19 @@ from repro.topology.testbeds import PROFILES, scaled_profile
 
 SCENARIOS: Dict[str, Callable[[bool], BenchResult]] = {}
 
+#: Extra SimConfig overrides merged into every macro scenario that builds a
+#: :class:`CollectionNetwork` — the bench CLI routes ``--live-telemetry``
+#: through here.  Empty by default, so pinned scenarios stay pinned; any
+#: override that adds engine events (telemetry does) shifts the ``check``
+#: counters, which ``--compare`` flags as a behavior change by design.
+EXTRA_SIM_OVERRIDES: Dict[str, object] = {}
+
+
+def _sim_config(**kwargs: object) -> SimConfig:
+    merged = dict(kwargs)
+    merged.update(EXTRA_SIM_OVERRIDES)
+    return SimConfig(**merged)  # type: ignore[arg-type]
+
 
 def scenario(fn: Callable[[bool], BenchResult]) -> Callable[[bool], BenchResult]:
     SCENARIOS[fn.__name__] = fn
@@ -39,7 +52,12 @@ def run_scenario(name: str, quick: bool = False) -> BenchResult:
         fn = SCENARIOS[name]
     except KeyError:
         raise KeyError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}") from None
-    return fn(quick)
+    from repro.obs.resources import ResourceProbe
+
+    probe = ResourceProbe()
+    result = fn(quick)
+    result.resources = probe.stop()
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -219,7 +237,7 @@ def macro_grid25(quick: bool = False) -> BenchResult:
     """Full 4B collection run on a 25-node grid (the headline hot path)."""
     duration = 150.0 if quick else 600.0
     topo = grid(5, 5, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=0.5)
-    config = SimConfig(
+    config = _sim_config(
         protocol="4b",
         seed=3,
         duration_s=duration,
@@ -236,7 +254,7 @@ def macro_testbed(quick: bool = False) -> BenchResult:
     duration = 120.0 if quick else 240.0
     profile = scaled_profile(PROFILES["mirage"], 35)
     topo = profile.topology(11)
-    config = SimConfig(
+    config = _sim_config(
         protocol="4b",
         seed=2,
         duration_s=duration,
@@ -253,7 +271,7 @@ def macro_chaos(quick: bool = False) -> BenchResult:
     invariant checker on: the robustness layer's end-to-end cost."""
     duration = 150.0 if quick else 480.0
     topo = grid(5, 5, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=0.5)
-    config = SimConfig(
+    config = _sim_config(
         protocol="4b",
         seed=3,
         duration_s=duration,
@@ -388,7 +406,7 @@ def macro_grid25_fast(quick: bool = False) -> BenchResult:
     """
     duration = 150.0 if quick else 600.0
     topo = grid(5, 5, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=0.5)
-    config = SimConfig(
+    config = _sim_config(
         protocol="4b",
         seed=3,
         duration_s=duration,

@@ -35,6 +35,7 @@ LAYER_PACKAGES = (
     "repro.sim",
     "repro.workloads",
     "repro.faults",
+    "repro.obs",
 )
 
 NUMERIC_ANNOTATIONS = {"int", "float"}

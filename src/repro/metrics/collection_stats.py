@@ -60,6 +60,12 @@ class CollectionResult:
     #: Cross-layer metrics snapshot (``SimConfig(collect_metrics=True)``):
     #: the flat ``repro.obs`` registry view of every layer's counters.
     metrics: Optional[Dict[str, float]] = None
+    #: Wall/CPU/peak-RSS accounting for the process that executed the run
+    #: (``repro.obs.resources`` keys); filled by the runner workers.
+    #: Wall-clock accounting is nondeterministic by nature, so it is
+    #: excluded from dataclass equality — determinism checks compare
+    #: simulated fields only.
+    resources: Optional[Dict[str, float]] = field(default=None, compare=False)
     per_node_delivery: Dict[int, float] = field(default_factory=dict)
     final_parents: Dict[int, Optional[int]] = field(default_factory=dict)
     final_depths: Dict[int, Optional[int]] = field(default_factory=dict)

@@ -13,7 +13,17 @@ Three pillars, all optional and all zero-cost when unused:
 * :mod:`repro.obs.cli` — an **offline trace-analysis CLI**
   (``python -m repro.obs``) that answers debugging questions from an
   exported JSONL trace: per-node timelines, parent-flap counts, ETX
-  convergence against ground truth, and whole-run summaries.
+  convergence against ground truth, whole-run summaries, and causal
+  per-packet ``journey`` span trees.
+* :mod:`repro.obs.stream` — **live telemetry streaming**: a deterministic
+  sim-time sampler that emits incremental metrics snapshots as typed JSONL
+  records to pluggable sinks (file, bounded ring, Prometheus text);
+  follow a stream with ``python -m repro.obs tail -f``.
+* :mod:`repro.obs.journey` — **causal packet-journey reconstruction**:
+  correlates trace records by ``(origin, seq)`` into span trees with
+  per-hop retries and latencies.
+* :mod:`repro.obs.resources` — **run resource accounting**: wall/CPU/peak
+  RSS per run via ``resource.getrusage``, aggregated across sweeps.
 
 The structured tracing itself lives in :mod:`repro.sim.trace` (it hooks a
 built network); :func:`repro.obs.bridge.network_metrics` lifts every
@@ -21,6 +31,12 @@ layer's ad-hoc stats dataclasses into one registry after a run.
 """
 
 from repro.obs.bridge import network_metrics
+from repro.obs.journey import (
+    HopSpan,
+    PacketJourney,
+    build_journeys,
+    summarize_journeys,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -29,13 +45,39 @@ from repro.obs.metrics import (
     register_dataclass_counters,
 )
 from repro.obs.profile import EngineProfiler
+from repro.obs.resources import ResourceProbe, format_resources, merge_resources
+from repro.obs.stream import (
+    JsonlStreamSink,
+    PrometheusTextSink,
+    RingStreamSink,
+    TelemetrySampler,
+    TelemetrySink,
+    fold_snapshots,
+    read_stream,
+    validate_record,
+)
 
 __all__ = [
     "Counter",
     "EngineProfiler",
     "Gauge",
     "Histogram",
+    "HopSpan",
+    "JsonlStreamSink",
     "MetricsRegistry",
+    "PacketJourney",
+    "PrometheusTextSink",
+    "ResourceProbe",
+    "RingStreamSink",
+    "TelemetrySampler",
+    "TelemetrySink",
+    "build_journeys",
+    "fold_snapshots",
+    "format_resources",
+    "merge_resources",
     "network_metrics",
+    "read_stream",
     "register_dataclass_counters",
+    "summarize_journeys",
+    "validate_record",
 ]

@@ -7,6 +7,9 @@ in :mod:`repro.sim.trace`) without re-running the simulation::
     python -m repro.obs timeline trace.jsonl --node 7 --kind parent-change
     python -m repro.obs flaps trace.jsonl            # parent churn per node
     python -m repro.obs convergence trace.jsonl      # est. ETX vs ground truth
+    python -m repro.obs journey trace.jsonl          # per-packet span trees
+    python -m repro.obs tail live.jsonl --check      # telemetry stream records
+    python -m repro.obs tail live.jsonl -f           # ... following live appends
 
 Rotated sink segments may be passed oldest-first (``trace.jsonl.2
 trace.jsonl.1 trace.jsonl``); records from every file are pooled.
@@ -17,9 +20,10 @@ All analysis output goes to stdout; it is plain text, not JSON.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from collections import Counter as TallyCounter
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.render import table, timeseries
 from repro.sim.trace import NETWORK_NODE, Tracer
@@ -220,6 +224,137 @@ def cmd_convergence(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# journey
+# ---------------------------------------------------------------------------
+def cmd_journey(args: argparse.Namespace) -> int:
+    from repro.obs.journey import build_journeys, summarize_journeys
+
+    tracer = _load(args.trace)
+    journeys = build_journeys(tracer.records)
+    if args.origin is not None:
+        journeys = {k: j for k, j in journeys.items() if j.origin == args.origin}
+    if args.seq is not None:
+        journeys = {k: j for k, j in journeys.items() if j.seq == args.seq}
+    if not journeys:
+        print("(no packet journeys — the trace has no pkt-*/deliver records; "
+              "export one from an instrumented run)")
+        return 0
+    selected = sorted(
+        (j for j in journeys.values() if args.state is None or j.state == args.state),
+        key=lambda j: (
+            j.t_origin if j.t_origin is not None else math.inf, j.origin, j.seq
+        ),
+    )
+    for journey in selected[: args.limit]:
+        print(journey.render())
+        print()
+    if len(selected) > args.limit:
+        print(f"... {len(selected) - args.limit} more journey(s) (raise --limit)\n")
+
+    summary = summarize_journeys(journeys.values())
+    print(
+        f"{summary.total} packet(s): {summary.delivered} delivered "
+        f"({summary.complete} with complete span chains), "
+        f"{summary.dropped} dropped, {summary.in_flight} in flight"
+    )
+    if summary.total_attempts:
+        print(
+            f"link attempts: {summary.total_attempts} "
+            f"({summary.total_retries} retries)"
+        )
+    if summary.latencies_s:
+        print(f"mean delivery latency: {summary.mean_latency_s * 1000:.0f}ms "
+              f"over {len(summary.latencies_s)} packet(s)")
+    if summary.hop_counts:
+        print(f"mean delivered hop count: {summary.mean_hops:.2f}")
+    if tracer.dropped:
+        print(f"WARNING: {tracer.dropped} trace records were dropped at "
+              f"capacity; journeys may be incomplete")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# tail
+# ---------------------------------------------------------------------------
+def _render_stream_record(record: Dict[str, Any]) -> str:
+    kind = record.get("rec", "?")
+    t = record.get("t")
+    ts = f"{t:10.3f}s" if isinstance(t, (int, float)) else "         -"
+    run = record.get("run")
+    prefix = f"{ts}  {kind:<11}"
+    if run:
+        prefix += f" [{run}]"
+    if kind == "snapshot":
+        updates = record.get("updates") or {}
+        full = "full, " if record.get("full") else ""
+        return f"{prefix} {full}{len(updates)} key(s)"
+    rest = {
+        k: v for k, v in record.items() if k not in ("rec", "seq", "t", "run")
+    }
+    body = " ".join(f"{k}={v}" for k, v in rest.items())
+    return f"{prefix} {body}".rstrip()
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.obs.stream import fold_snapshots, validate_record
+
+    kinds: TallyCounter = TallyCounter()
+    snapshots: List[Dict[str, Any]] = []
+    invalid = 0
+    printed = 0
+
+    def handle(line: str) -> None:
+        nonlocal invalid, printed
+        line = line.strip()
+        if not line:
+            return
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            invalid += 1
+            print(f"INVALID (bad JSON: {exc}): {line[:120]}", file=sys.stderr)
+            return
+        if args.check:
+            for error in validate_record(record):
+                invalid += 1
+                print(f"INVALID: {error}", file=sys.stderr)
+        kinds[str(record.get("rec"))] += 1
+        if record.get("rec") == "snapshot":
+            snapshots.append(record)
+        if printed < args.limit:
+            printed += 1
+            print(_render_stream_record(record), flush=args.follow)
+
+    with open(args.stream) as fh:
+        for line in fh:
+            handle(line)
+        try:
+            while args.follow:
+                line = fh.readline()
+                if line:
+                    handle(line)
+                else:
+                    time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    folded = fold_snapshots(snapshots)
+    total = sum(kinds.values())
+    parts = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+    print(f"\n{total} record(s) ({parts or 'none'}); "
+          f"folded state: {len(folded)} metric key(s)")
+    if args.check:
+        if invalid:
+            print(f"{invalid} invalid record(s)", file=sys.stderr)
+            return 1
+        print("all records valid")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -251,6 +386,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("trace", nargs="+")
     p.add_argument("--node", type=int, default=None, help="plot one node over time")
     p.set_defaults(fn=cmd_convergence)
+
+    p = sub.add_parser(
+        "journey",
+        help="reconstruct causal per-packet span trees (tx → rx → … → deliver)",
+    )
+    p.add_argument("trace", nargs="+")
+    p.add_argument("--origin", type=int, default=None, help="only packets from this node")
+    p.add_argument("--seq", type=int, default=None, help="only this origin sequence number")
+    p.add_argument(
+        "--state",
+        choices=("delivered", "dropped", "in-flight"),
+        default=None,
+        help="only journeys with this terminal state",
+    )
+    p.add_argument("--limit", type=int, default=20, help="max trees printed (default 20)")
+    p.set_defaults(fn=cmd_journey)
+
+    p = sub.add_parser(
+        "tail", help="print (and optionally follow/validate) a telemetry stream"
+    )
+    p.add_argument("stream", help="JSONL stream file (from --live-telemetry)")
+    p.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep reading as the file grows (Ctrl-C to stop)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=0.5,
+        help="poll interval in seconds with --follow (default 0.5)",
+    )
+    p.add_argument("--limit", type=int, default=1000, help="max records printed")
+    p.add_argument(
+        "--check", action="store_true",
+        help="validate every record against the stream schema; exit 1 on any "
+        "invalid record",
+    )
+    p.set_defaults(fn=cmd_tail)
 
     args = parser.parse_args(argv)
     try:

@@ -37,19 +37,83 @@ def _label_items(labels: Dict[str, object]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+#: Characters that are structural inside a flat key's label block.  Label
+#: *values* escape them with a backslash so ``parse_flat_key`` round-trips
+#: any value; label *keys* come from ``**labels`` kwargs and are therefore
+#: identifiers, which never contain them.
+_LABEL_SPECIALS = "\\,=}"
+
+
+def _escape_label_value(value: str) -> str:
+    if not any(c in value for c in _LABEL_SPECIALS):
+        return value
+    out = []
+    for c in value:
+        if c in _LABEL_SPECIALS:
+            out.append("\\")
+        out.append(c)
+    return "".join(out)
+
+
+def _unescape_label_value(value: str) -> str:
+    if "\\" not in value:
+        return value
+    out = []
+    it = iter(value)
+    for c in it:
+        if c == "\\":
+            c = next(it, "\\")
+        out.append(c)
+    return "".join(out)
+
+
+def _split_label_items(inner: str) -> List[str]:
+    """Split the label block on unescaped commas."""
+    items: List[str] = []
+    buf: List[str] = []
+    escaped = False
+    for c in inner:
+        if escaped:
+            buf.append(c)
+            escaped = False
+        elif c == "\\":
+            buf.append(c)
+            escaped = True
+        elif c == ",":
+            items.append("".join(buf))
+            buf = []
+        else:
+            buf.append(c)
+    items.append("".join(buf))
+    return items
+
+
 def _flat_key(name: str, labels: LabelItems) -> str:
     if not labels:
         return name
-    inner = ",".join(f"{k}={v}" for k, v in labels)
+    inner = ",".join(f"{k}={_escape_label_value(v)}" for k, v in labels)
     return f"{name}{{{inner}}}"
 
 
 def parse_flat_key(key: str) -> Tuple[str, Dict[str, str]]:
-    """Invert :meth:`MetricsRegistry.snapshot` keys back to (name, labels)."""
+    """Invert :meth:`MetricsRegistry.snapshot` keys back to (name, labels).
+
+    Label values are backslash-unescaped, so keys produced by
+    :func:`_flat_key` round-trip even when values contain ``,``, ``=``,
+    ``}`` or ``\\`` (the trailing ``}`` of the key is never escaped — an
+    escaped ``}`` at the end of a value is preceded by a backslash, which
+    itself would have been doubled).
+    """
     if not key.endswith("}") or "{" not in key:
         return key, {}
     name, _, inner = key[:-1].partition("{")
-    labels = dict(item.split("=", 1) for item in inner.split(",") if item)
+    labels: Dict[str, str] = {}
+    for item in _split_label_items(inner):
+        if not item:
+            continue
+        # Keys are identifiers, so the first `=` always ends the key.
+        k, _, v = item.partition("=")
+        labels[k] = _unescape_label_value(v)
     return name, labels
 
 
@@ -126,6 +190,22 @@ class Histogram:
         self.total += other.total
         self.vmin = min(self.vmin, other.vmin)
         self.vmax = max(self.vmax, other.vmax)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Strict-JSON view: the empty histogram's ``vmin=inf``/``vmax=-inf``
+        sentinels become ``null`` (the ``to_json_dict`` convention), never
+        the invalid JSON tokens ``Infinity``/``-Infinity``."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": None if empty else self.vmin,
+            "max": None if empty else self.vmax,
+            "buckets": {
+                "+inf" if math.isinf(b) else repr(b): n
+                for b, n in zip(list(self.bounds) + [math.inf], self.bucket_counts)
+            },
+        }
 
 
 Metric = Union[Counter, Gauge, Histogram]

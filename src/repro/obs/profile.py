@@ -32,6 +32,8 @@ class EngineProfiler:
     __slots__ = (
         "event_counts",
         "event_wall_s",
+        "kernel_counts",
+        "kernel_wall_s",
         "queue_samples",
         "queue_sample_every",
         "latency_samples",
@@ -46,6 +48,11 @@ class EngineProfiler:
     def __init__(self, queue_sample_every: int = 256) -> None:
         self.event_counts: Dict[str, int] = {}
         self.event_wall_s: Dict[str, float] = {}
+        #: Sub-event kernel buckets (``medium_fast.prr_decode``, …): wall
+        #: time attributed *inside* one callback, so a vectorized medium's
+        #: cost is not lumped under a single event kind.
+        self.kernel_counts: Dict[str, int] = {}
+        self.kernel_wall_s: Dict[str, float] = {}
         #: (simulated time, live queue depth) samples.
         self.queue_samples: List[Tuple[float, int]] = []
         self.queue_sample_every = max(1, queue_sample_every)
@@ -78,6 +85,15 @@ class EngineProfiler:
             self._since_sample = 0
             self.queue_samples.append((sim_time, queue_depth))
         self.wall_s = perf_counter() - self._wall_start
+
+    def record_kernel(self, name: str, wall_s: float, n: int = 1) -> None:
+        """Attribute ``wall_s`` to a named kernel inside the current event.
+
+        Kernel time is a *breakdown* of (not additional to) the enclosing
+        event's wall time; callers time their own sections and report here.
+        """
+        self.kernel_counts[name] = self.kernel_counts.get(name, 0) + n
+        self.kernel_wall_s[name] = self.kernel_wall_s.get(name, 0.0) + wall_s
 
     # ------------------------------------------------------------------
     def events_per_s(self) -> float:
@@ -126,6 +142,17 @@ class EngineProfiler:
                 "mean": sum(depths) / len(depths) if depths else 0.0,
             },
             "event_latency_s": self.latency_percentiles(),
+            "kernels": {
+                name: {
+                    "count": self.kernel_counts[name],
+                    "wall_s": self.kernel_wall_s.get(name, 0.0),
+                }
+                for name in sorted(
+                    self.kernel_counts,
+                    key=lambda k: self.kernel_wall_s.get(k, 0.0),
+                    reverse=True,
+                )
+            },
         }
 
     def render(self, limit: int = 12) -> str:
@@ -145,6 +172,16 @@ class EngineProfiler:
             lines.append(
                 f"  queue depth: mean {sum(depths) / len(depths):.0f}, max {max(depths)}"
             )
+        if self.kernel_counts:
+            lines.append("  kernels:")
+            for name in sorted(
+                self.kernel_counts,
+                key=lambda k: self.kernel_wall_s.get(k, 0.0),
+                reverse=True,
+            )[:limit]:
+                count = self.kernel_counts[name]
+                wall = self.kernel_wall_s.get(name, 0.0)
+                lines.append(f"    {name:<38} {count:>9} it  {wall:7.3f}s")
         return "\n".join(lines)
 
 
@@ -158,6 +195,7 @@ def merge_profiles(profiles: List[Optional[Dict[str, object]]]) -> Optional[Dict
     if not live:
         return None
     by_kind: Dict[str, Dict[str, float]] = {}
+    kernels: Dict[str, Dict[str, float]] = {}
     events = 0
     wall = 0.0
     for p in live:
@@ -167,7 +205,11 @@ def merge_profiles(profiles: List[Optional[Dict[str, object]]]) -> Optional[Dict
             agg = by_kind.setdefault(kind, {"count": 0, "wall_s": 0.0})
             agg["count"] += int(row.get("count", 0))
             agg["wall_s"] += float(row.get("wall_s", 0.0))
-    return {
+        for name, row in p.get("kernels", {}).items():
+            agg = kernels.setdefault(name, {"count": 0, "wall_s": 0.0})
+            agg["count"] += int(row.get("count", 0))
+            agg["wall_s"] += float(row.get("wall_s", 0.0))
+    merged: Dict[str, object] = {
         "events": events,
         "wall_s": wall,
         "events_per_s": events / wall if wall > 0 else 0.0,
@@ -176,3 +218,8 @@ def merge_profiles(profiles: List[Optional[Dict[str, object]]]) -> Optional[Dict
         ),
         "runs": len(live),
     }
+    if kernels:
+        merged["kernels"] = dict(
+            sorted(kernels.items(), key=lambda kv: kv[1]["wall_s"], reverse=True)
+        )
+    return merged

@@ -85,6 +85,22 @@ def main(argv=None) -> int:
         "path; 'fast' is the vectorized, spatially-culled backend "
         "(distribution-equivalent — see DESIGN.md §9)",
     )
+    parser.add_argument(
+        "--live-telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream live telemetry (JSONL) from every run and the sweep "
+        "itself to PATH; follow it with `python -m repro.obs tail -f PATH`. "
+        "Disables the result cache — a cached run never executes, so it "
+        "would stream nothing",
+    )
+    parser.add_argument(
+        "--telemetry-period",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="simulated seconds between telemetry snapshots (with --live-telemetry)",
+    )
     args = parser.parse_args(argv)
 
     if args.clear_cache:
@@ -93,6 +109,13 @@ def main(argv=None) -> int:
         print(f"cleared {removed} cached result(s) from {cache.root}")
         return 0
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.live_telemetry is not None and cache is not None:
+        print(
+            "[runner] --live-telemetry disables the result cache "
+            "(cached runs never execute, so they would stream nothing)",
+            file=sys.stderr,
+        )
+        cache = None
 
     # Imported late so `--help`/`--clear-cache` stay instant.
     from repro.experiments.common import Cell, ExperimentScale, run_cells
@@ -129,19 +152,30 @@ def main(argv=None) -> int:
         # Only non-default backends enter the override table, so existing
         # exact-path cache keys are unaffected by the flag's presence.
         overrides["medium"] = args.medium
+    if args.live_telemetry is not None:
+        overrides["telemetry_period_s"] = args.telemetry_period
+        overrides["telemetry_path"] = args.live_telemetry
     cells = [
         Cell.make(proto, label=f"{proto} @{power:+.0f}dBm", tx_power_dbm=power, **overrides)
         for power in powers
         for proto in protocols
     ]
 
+    telemetry_sink = None
+    if args.live_telemetry is not None:
+        from repro.obs.stream import JsonlStreamSink
+
+        telemetry_sink = JsonlStreamSink(args.live_telemetry)
     runner = ExperimentRunner(
         workers=args.workers,
         cache=cache,
         timeout_s=args.timeout,
         progress=not args.quiet,
+        telemetry=telemetry_sink,
     )
     averaged = run_cells(scale, cells, runner)
+    if telemetry_sink is not None:
+        telemetry_sink.close()
 
     # Only JSON may touch stdout when `--json -` is in play: summary rows
     # move to stderr so `python -m repro.runner --json - | jq` stays valid.
@@ -179,6 +213,8 @@ def main(argv=None) -> int:
                 "executed": runner.stats.executed,
                 "events_run": runner.stats.events_run,
                 "wall_s": runner.stats.wall_s,
+                "cpu_s": runner.stats.resources.get("cpu_s"),
+                "max_rss_kb": runner.stats.resources.get("max_rss_kb"),
                 "profile": runner.stats.profile,
             },
         }

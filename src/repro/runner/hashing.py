@@ -28,7 +28,10 @@ from typing import Any
 #: 3: SimConfig grew the ``medium`` backend selector; digests of configs
 #: hashed as dataclasses change, and the fast backend means one config no
 #: longer implies one bitstream for medium="fast" runs.
-CACHE_SCHEMA_VERSION = 3
+#: 4: SimConfig grew the live-telemetry selectors (``telemetry_period_s``,
+#: ``telemetry_path``, ``telemetry_per_node``) and CollectionResult grew
+#: ``resources``; both change config digests and pickled payload shapes.
+CACHE_SCHEMA_VERSION = 4
 
 
 def _frame(raw: bytes) -> bytes:

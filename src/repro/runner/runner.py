@@ -48,17 +48,28 @@ def _on_alarm(signum, frame):  # pragma: no cover - fires only on timeout
 
 
 def _call_with_timeout(fn: Callable[[Any], Any], arg: Any, timeout_s: Optional[float]) -> Any:
-    """Worker entry point: run ``fn(arg)`` under an optional SIGALRM budget."""
+    """Worker entry point: run ``fn(arg)`` under an optional SIGALRM budget.
+
+    Also captures the run's wall/CPU/max-RSS deltas and attaches them to
+    the result when it has a ``resources`` slot (``CollectionResult`` does)
+    — measured *inside* the worker process, so pool runs report the CPU
+    that actually executed them.
+    """
+    from repro.obs.resources import ResourceProbe, attach_resources
+
     use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    probe = ResourceProbe()
     try:
-        return fn(arg)
+        result = fn(arg)
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+    attach_resources(result, probe.stop())
+    return result
 
 
 @dataclass(frozen=True)
@@ -115,6 +126,9 @@ class RunnerStats:
     #: Merged engine profile across runs that carried one
     #: (``SimConfig(profile_events=True)``); see ``repro.obs.profile``.
     profile: Optional[Dict[str, object]] = None
+    #: Aggregated run resources (``repro.obs.resources`` keys): CPU and
+    #: wall seconds add across runs, ``max_rss_kb`` takes the max.
+    resources: Dict[str, float] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -162,6 +176,14 @@ class RunnerStats:
             lines.append(f"  … and {len(by_kind) - limit} more kinds")
         return "\n".join(lines)
 
+    def absorb_resources(self, resources: Optional[Dict[str, Any]]) -> None:
+        """Fold one run's (or batch's) resource deltas into this stats object."""
+        if not resources:
+            return
+        from repro.obs.resources import merge_resources
+
+        merge_resources(self.resources, resources)
+
     def summary(self) -> str:
         parts = [
             f"{self.completed}/{self.total} runs",
@@ -169,6 +191,10 @@ class RunnerStats:
             f"{self.runs_per_s():.2f} runs/s",
             f"{self.events_per_s() / 1000:.0f}k events/s",
         ]
+        if self.resources:
+            from repro.obs.resources import format_resources
+
+            parts.append(format_resources(self.resources))
         if self.failures:
             parts.append(f"{len(self.failures)} FAILED")
         return "[runner] " + ", ".join(parts) + f", {self.wall_s:.1f}s wall"
@@ -194,6 +220,11 @@ class ExperimentRunner:
     strict:
         Raise :class:`RunnerError` after the sweep if any run failed;
         with ``strict=False`` failed slots come back as ``None``.
+    telemetry:
+        Optional :class:`~repro.obs.stream.TelemetrySink`: the runner
+        emits sweep-scoped stream records (``sweep-start`` / one
+        ``run-result`` per task / ``sweep-end``) so a tail can follow
+        sweep progress live.  The sink is *not* closed by the runner.
     """
 
     def __init__(
@@ -204,6 +235,7 @@ class ExperimentRunner:
         chunk_size: Optional[int] = None,
         progress: bool = False,
         strict: bool = True,
+        telemetry: Any = None,
     ) -> None:
         self.workers = int(workers) if workers else 1
         if cache is True:
@@ -221,7 +253,18 @@ class ExperimentRunner:
         self.stats = RunnerStats()
         #: Stats accumulated across every batch this runner has executed.
         self.totals = RunnerStats()
+        self.telemetry = telemetry
+        self._telemetry_seq = 0
         self._last_report = 0.0
+
+    def _emit_telemetry(self, kind: str, **fields: Any) -> None:
+        """Emit one sweep-scoped stream record (``t`` is null: wall time)."""
+        if self.telemetry is None:
+            return
+        record: Dict[str, Any] = {"rec": kind, "seq": self._telemetry_seq, "t": None}
+        record.update(fields)
+        self._telemetry_seq += 1
+        self.telemetry.emit(record)
 
     # ------------------------------------------------------------------
     # Public API
@@ -241,6 +284,7 @@ class ExperimentRunner:
         digests = [task.digest() for task in tasks]
         outcomes: Dict[str, Any] = {}
         failed: Dict[str, RunFailure] = {}
+        self._emit_telemetry("sweep-start", total=len(tasks))
 
         # Cache pass + in-batch dedup: `todo` keeps first occurrence order.
         todo: List[Tuple[Task, str]] = []
@@ -254,6 +298,10 @@ class ExperimentRunner:
                 if hit is not MISS:
                     outcomes[digest] = hit
                     stats.cache_hits += 1
+                    self._emit_telemetry(
+                        "run-result", label=task.describe(), digest=digest,
+                        status="cached",
+                    )
                     continue
             todo.append((task, digest))
         self._report(stats, t0)
@@ -273,6 +321,16 @@ class ExperimentRunner:
         self.totals.events_run += stats.events_run
         self.totals.wall_s += stats.wall_s
         self.totals.absorb_profile(stats.profile)
+        self.totals.absorb_resources(stats.resources)
+        self._emit_telemetry(
+            "sweep-end",
+            executed=stats.executed,
+            cache_hits=stats.cache_hits,
+            failures=len(stats.failures),
+            wall_s=stats.wall_s,
+            cpu_s=stats.resources.get("cpu_s", 0.0),
+            max_rss_kb=stats.resources.get("max_rss_kb", 0.0),
+        )
         if failed and self.strict:
             raise RunnerError(list(failed.values()))
         return [outcomes.get(d) for d in digests]
@@ -280,10 +338,19 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------
-    def _record_ok(self, digest: str, result: Any, stats: RunnerStats) -> None:
+    def _record_ok(self, task: Task, digest: str, result: Any, stats: RunnerStats) -> None:
         stats.executed += 1
         stats.events_run += int(getattr(result, "events_run", 0) or 0)
         stats.absorb_profile(getattr(result, "profile", None))
+        resources = getattr(result, "resources", None)
+        stats.absorb_resources(resources)
+        extra: Dict[str, Any] = {}
+        if resources:
+            extra["resources"] = dict(resources)
+        self._emit_telemetry(
+            "run-result", label=task.describe(), digest=digest, status="ok",
+            events_run=int(getattr(result, "events_run", 0) or 0), **extra,
+        )
         if self.cache is not None:
             self.cache.put(digest, result)
 
@@ -295,7 +362,7 @@ class ExperimentRunner:
                 failed[digest] = self._failure(task, digest, exc, stats)
             else:
                 outcomes[digest] = result
-                self._record_ok(digest, result, stats)
+                self._record_ok(task, digest, result, stats)
             self._report(stats, t0)
 
     def _run_pool(self, todo, outcomes, failed, stats, t0) -> None:
@@ -333,7 +400,7 @@ class ExperimentRunner:
                         failed[digest] = self._failure(task, digest, exc, stats)
                     else:
                         outcomes[digest] = result
-                        self._record_ok(digest, result, stats)
+                        self._record_ok(task, digest, result, stats)
                     self._report(stats, t0)
                 if broken:
                     # The pool is dead: everything still in flight fails with
@@ -354,6 +421,10 @@ class ExperimentRunner:
             message = f"{type(exc).__name__}: {exc}"
         failure = RunFailure(label=task.describe(), digest=digest, error=message)
         stats.failures.append(failure)
+        self._emit_telemetry(
+            "run-result", label=failure.label, digest=digest, status="failed",
+            error=message,
+        )
         return failure
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ bit-identical golden/bench ``--compare`` contract.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -448,6 +449,12 @@ class FastRadioMedium(RadioMedium):
         overlapping = self._overlapping(tx)
         t = tx.end
         channel = self.channel
+        # Per-kernel wall-time buckets: without them the profiler lumps the
+        # whole vectorized evaluation under one callback name.  One branch
+        # here when profiling is off; early returns simply skip the
+        # remaining sections (kernel time is a breakdown, not a total).
+        prof = self.engine.profiler
+        k0 = perf_counter() if prof is not None else 0.0
 
         # ---- half duplex: drop candidates that transmitted during tx ----
         if overlapping:
@@ -466,6 +473,10 @@ class FastRadioMedium(RadioMedium):
         else:
             idx = batch.all_idx
         full = idx is batch.all_idx
+        if prof is not None:
+            k1 = perf_counter()
+            prof.record_kernel("medium_fast.cull", k1 - k0)
+            k0 = k1
 
         # ---- time-varying gain: OU + Gilbert, advanced for queried pairs
         slots = batch.pair_idx if full else batch.pair_idx[idx]
@@ -523,6 +534,10 @@ class FastRadioMedium(RadioMedium):
                 gain = gain + offsets
 
         rssi = tx.power_dbm + gain
+        if prof is not None:
+            k1 = perf_counter()
+            prof.record_kernel("medium_fast.fading", k1 - k0)
+            k0 = k1
 
         # ---- SINR: noise plus spatially-culled mean-field interference --
         noise_mw = batch.noise_mw if full else batch.noise_mw[idx]
@@ -543,6 +558,10 @@ class FastRadioMedium(RadioMedium):
             sinr = rssi - 10.0 * np.log10(noise_mw + inter_mw)
         else:
             sinr = rssi - (batch.noise_db if full else batch.noise_db[idx])
+        if prof is not None:
+            k1 = perf_counter()
+            prof.record_kernel("medium_fast.interference", k1 - k0)
+            k0 = k1
 
         # ---- decode decision: quantized PRR gather + one uniform draw ---
         params: RadioParams = self._participants[sender_id].radio.params
@@ -564,6 +583,10 @@ class FastRadioMedium(RadioMedium):
                 np.count_nonzero(~decoded & (inter_mw > noise_mw))
             )
         dec = np.nonzero(decoded)[0]
+        if prof is not None:
+            k1 = perf_counter()
+            prof.record_kernel("medium_fast.prr_decode", k1 - k0)
+            k0 = k1
         if dec.size == 0:
             return
 
@@ -609,6 +632,8 @@ class FastRadioMedium(RadioMedium):
                 white_bit=white_list[k],
             )
             receivers[pos_list[k]].on_frame_received(frame, info)
+        if prof is not None:
+            prof.record_kernel("medium_fast.deliver", perf_counter() - k0)
 
 
 __all__ = ["FastRadioMedium", "DEFAULT_SHADOW_MARGIN_SIGMAS"]

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
     from repro.faults.invariants import InvariantChecker
     from repro.faults.schedule import FaultSchedule
+    from repro.obs.stream import TelemetrySampler
 
 #: Protocols the harness knows how to build.  The CTP variants and "geo"
 #: share the estimator engine (with different presets); "mhlqi" is its own
@@ -93,6 +94,16 @@ class SimConfig:
     #: contract) or "fast" (:class:`~repro.sim.medium_fast.FastRadioMedium`,
     #: vectorized + spatially culled, distribution-equivalent; DESIGN.md §9).
     medium: str = "exact"
+    #: Live telemetry (DESIGN.md §10): emit an incremental metrics snapshot
+    #: every this many simulated seconds.  ``None`` = off (the streaming
+    #: machinery is never constructed, so plain runs pay nothing).
+    telemetry_period_s: Optional[float] = None
+    #: Stream destination: a JSONL file path, or ``None`` for a bounded
+    #: in-memory ring (``network.telemetry.sink.records``).
+    telemetry_path: Optional[str] = None
+    #: Include per-node label breakdowns in streamed snapshots (bigger
+    #: records; the default streams network-level aggregates only).
+    telemetry_per_node: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -105,6 +116,12 @@ class SimConfig:
             raise ValueError("duration must exceed warmup")
         if self.white_bit not in ("lqi", "snr", "never"):
             raise ValueError(f"unknown white-bit policy {self.white_bit!r}")
+        if self.telemetry_period_s is not None and self.telemetry_period_s <= 0:
+            raise ValueError(
+                f"telemetry_period_s must be positive: {self.telemetry_period_s!r}"
+            )
+        if self.telemetry_path is not None and self.telemetry_period_s is None:
+            raise ValueError("telemetry_path requires telemetry_period_s")
         if self.faults is not None and not isinstance(self.faults, str):
             from repro.faults.schedule import FaultSchedule
 
@@ -183,6 +200,12 @@ class CollectionNetwork:
 
             self.invariant_checker = InvariantChecker(self)
             self.invariant_checker.install()
+        #: Wall/CPU/RSS deltas for the event loop, filled by :meth:`run`
+        #: when telemetry is on (the run-end stream record carries them).
+        self.run_resources: Optional[Dict[str, float]] = None
+        self.telemetry: Optional["TelemetrySampler"] = None
+        if config.telemetry_period_s is not None:
+            self._build_telemetry()
 
     # ------------------------------------------------------------------
     # Construction
@@ -322,6 +345,27 @@ class CollectionNetwork:
         )
         self.fault_injector = FaultInjector(self, schedule)
 
+    def _build_telemetry(self) -> None:
+        # Local imports: telemetry is opt-in observability layered on top of
+        # the simulator; untelemetered runs never touch the streaming code.
+        from repro.obs.stream import JsonlStreamSink, RingStreamSink, TelemetrySampler
+
+        config = self.config
+        assert config.telemetry_period_s is not None
+        sink: Any
+        if config.telemetry_path is not None:
+            sink = JsonlStreamSink(config.telemetry_path)
+        else:
+            sink = RingStreamSink()
+        self.telemetry = TelemetrySampler(
+            self,
+            sink,
+            config.telemetry_period_s,
+            per_node=config.telemetry_per_node,
+            run_id=f"{config.protocol}-seed{config.seed}",
+        )
+        self.telemetry.install()
+
     def _boot_node(self, node: Node) -> None:
         # Late-bound lookup so post-construction instrumentation (tracing)
         # that wraps ``protocol.start`` is honored.
@@ -387,7 +431,16 @@ class CollectionNetwork:
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> CollectionResult:
+        probe = None
+        if self.telemetry is not None:
+            from repro.obs.resources import ResourceProbe
+
+            probe = ResourceProbe()
         self.engine.run_until(self.config.duration_s)
+        if probe is not None:
+            self.run_resources = probe.stop()
         for hook in self.on_run_end:
             hook(self)
+        if self.telemetry is not None:
+            self.telemetry.close()
         return compute_result(self)

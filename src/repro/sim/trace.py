@@ -39,6 +39,13 @@ est       ``est-reject``  ``neighbor, reason (no-white|no-compare|all-pinned)``
 est       ``pin``/``unpin``  ``neighbor`` — the network layer's pin bit
 net       ``parent-change``  ``old, new`` (node ids; -1 = none)
 net       ``drop``        ``origin, seq, reason (retries|queue-full)``
+net       ``pkt-orig``    ``seq`` — the record node accepted one app packet
+                          into its forwarding queue (its origin sequence)
+net       ``pkt-tx``      ``origin, seq, to, sent (0/1), acked (0/1)`` — one
+                          forwarding-level unicast attempt completed
+net       ``pkt-rx``      ``origin, seq, src, thl, outcome
+                          (deliver|forward|dup|drop-thl|queue-full)`` — one
+                          data frame arrived at the record node
 net       ``deliver``     ``origin is the record node; seq, hops`` (at roots)
 net       ``etx``         ``neighbor, est, path, true`` — periodic parent-link
                           estimate vs ground truth (``etx_sample_s`` only)
@@ -515,20 +522,51 @@ def _hook_estimator(tracer: Tracer, engine: "Engine", node: Any) -> None:
     est.unpin = wrapped_unpin
 
 
+#: (forwarding stats counter → ``pkt-rx`` outcome), checked in order; the
+#: receive path increments exactly one of these per data frame.
+_RX_OUTCOMES = (
+    ("delivered_at_root", "deliver"),
+    ("duplicates_suppressed", "dup"),
+    ("drops_thl", "drop-thl"),
+    ("drops_queue_full", "queue-full"),
+    ("forwarded", "forward"),
+)
+
+
 def _hook_forwarding(tracer: Tracer, engine: "Engine", node: Any) -> None:
-    """Trace datapath drops (retries exhausted / queue full) as they happen."""
+    """Trace the causal packet path: originations (``pkt-orig``), per-attempt
+    transmissions (``pkt-tx``), arrivals with their fate (``pkt-rx``) and
+    datapath drops (retries exhausted / queue full) as they happen.  The
+    ``(origin, seq)`` pair on every record is what
+    :mod:`repro.obs.journey` correlates into span trees."""
     forwarding = getattr(node.protocol, "forwarding", None)
     if forwarding is None:
         return
     stats = forwarding.stats
+    node_id = node.node_id
+
+    original_send_app = forwarding.send_from_app
+
+    def wrapped_send_app() -> bool:
+        seq = forwarding._seq
+        accepted = original_send_app()
+        if accepted:
+            tracer.emit(engine.now, "pkt-orig", node_id, seq=seq)
+        return accepted
+
+    forwarding.send_from_app = wrapped_send_app
+
     original_send_done = forwarding.on_send_done
 
     def wrapped_send_done(frame: Any, sent: bool, acked: bool) -> None:
         before = stats.drops_retries
         queue_head = forwarding._queue[0] if forwarding._queue else None
+        tracer.emit(engine.now, "pkt-tx", node_id,
+                    origin=frame.origin, seq=frame.origin_seq, to=frame.dst,
+                    sent=1 if sent else 0, acked=1 if acked else 0)
         original_send_done(frame, sent, acked)
         if stats.drops_retries != before and queue_head is not None:
-            tracer.emit(engine.now, "drop", node.node_id,
+            tracer.emit(engine.now, "drop", node_id,
                         origin=queue_head.origin, seq=queue_head.origin_seq,
                         reason="retries")
 
@@ -537,10 +575,18 @@ def _hook_forwarding(tracer: Tracer, engine: "Engine", node: Any) -> None:
     original_rx = forwarding.on_data_received
 
     def wrapped_rx(frame: Any) -> None:
-        before = stats.drops_queue_full
+        before = {name: getattr(stats, name) for name, _ in _RX_OUTCOMES}
         original_rx(frame)
-        if stats.drops_queue_full != before:
-            tracer.emit(engine.now, "drop", node.node_id,
+        outcome = "?"
+        for name, label in _RX_OUTCOMES:
+            if getattr(stats, name) != before[name]:
+                outcome = label
+                break
+        tracer.emit(engine.now, "pkt-rx", node_id,
+                    origin=frame.origin, seq=frame.origin_seq,
+                    src=frame.src, thl=frame.thl, outcome=outcome)
+        if outcome == "queue-full":
+            tracer.emit(engine.now, "drop", node_id,
                         origin=frame.origin, seq=frame.origin_seq,
                         reason="queue-full")
 

@@ -9,6 +9,17 @@ from tests.faults.helpers import build_network
 SCALE = ExperimentScale(n_nodes=16, duration_s=150.0, warmup_s=60.0, seeds=(1,))
 
 
+def _sim_fields(result):
+    """Result payload minus wall-clock resource accounting.
+
+    The determinism contract covers simulated fields only; ``resources``
+    (wall/CPU/RSS, attached by runner workers) varies run to run by design.
+    """
+    payload = result.to_json_dict()
+    payload.pop("resources", None)
+    return payload
+
+
 def _snapshot(net, result):
     """Golden-style canonical outcome: counters plus every ETX table."""
     tables = {
@@ -18,7 +29,7 @@ def _snapshot(net, result):
     }
     return config_digest(
         {
-            "result": result.to_json_dict(),
+            "result": _sim_fields(result),
             "tables": tables,
             "crashes": net.fault_injector.stats.node_crashes,
             "reboots": net.fault_injector.stats.node_reboots,
@@ -48,8 +59,8 @@ def test_serial_and_parallel_runners_agree():
     cell = Cell.make("4b", faults="reboot_storm", collect_metrics=True)
     serial = run_cells(SCALE, [cell], ExperimentRunner(workers=1))
     parallel = run_cells(SCALE, [cell], ExperimentRunner(workers=2))
-    lhs = [config_digest(r.to_json_dict()) for r in serial[0].runs]
-    rhs = [config_digest(r.to_json_dict()) for r in parallel[0].runs]
+    lhs = [config_digest(_sim_fields(r)) for r in serial[0].runs]
+    rhs = [config_digest(_sim_fields(r)) for r in parallel[0].runs]
     assert lhs == rhs
 
 

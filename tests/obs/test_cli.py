@@ -96,6 +96,50 @@ def test_convergence_single_node_timeseries(exported_trace, capsys):
     assert "estimated" in out and "true" in out
 
 
+def test_journey_renders_span_trees(exported_trace, capsys):
+    path, net, tracer = exported_trace
+    assert main(["journey", path, "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "packet (" in out
+    assert "link attempts:" in out  # aggregate footer
+    # Filtering by origin narrows the listing to that node's packets.
+    origin = tracer.filter(kind="pkt-orig")[0].node
+    assert main(["journey", path, "--origin", str(origin), "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert f"packet ({origin}," in out
+
+
+def test_journey_state_filter(exported_trace, capsys):
+    path, _, _ = exported_trace
+    assert main(["journey", path, "--state", "delivered", "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered" in out
+
+
+def test_tail_validates_stream(tmp_path, capsys):
+    from repro.obs.stream import JsonlStreamSink
+
+    path = tmp_path / "live.jsonl"
+    sink = JsonlStreamSink(path)
+    sink.emit({"rec": "sweep-start", "seq": 0, "t": None, "total": 1})
+    sink.emit({"rec": "run-result", "seq": 1, "t": None, "label": "x",
+               "status": "ok"})
+    sink.emit({"rec": "sweep-end", "seq": 2, "t": None, "executed": 1,
+               "cache_hits": 0, "failures": 0})
+    sink.close()
+    assert main(["tail", str(path), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep-start" in out and "all records valid" in out
+
+
+def test_tail_check_flags_invalid_records(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"rec": "snapshot", "seq": 0, "t": None,
+                                "full": True, "updates": {}}) + "\n")
+    assert main(["tail", str(path), "--check"]) == 1
+    assert "invalid" in capsys.readouterr().err
+
+
 def test_cli_handles_empty_sections(tmp_path, capsys):
     path = tmp_path / "empty.jsonl"
     path.write_text(json.dumps({"t": 0.0, "kind": "boot", "node": 0}) + "\n")

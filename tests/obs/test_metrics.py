@@ -1,14 +1,18 @@
 """Unit tests for the cross-layer metrics registry."""
 
+import json
 import math
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    _flat_key,
     parse_flat_key,
     register_dataclass_counters,
 )
@@ -96,6 +100,49 @@ def test_snapshot_flat_keys_round_trip():
     assert name == "link.mac.tx_unicast"
     assert labels == {"neighbor": "3", "node": "7"}
     assert parse_flat_key("sim.engine.pending") == ("sim.engine.pending", {})
+
+
+def test_flat_key_escapes_label_specials():
+    # `,` `=` `}` and `\` in a label value must not corrupt the key grammar.
+    key = _flat_key("sim.run.tag", [("label", "a,b=c}d\\e"), ("node", "3")])
+    name, labels = parse_flat_key(key)
+    assert name == "sim.run.tag"
+    assert labels == {"label": "a,b=c}d\\e", "node": "3"}
+
+
+_label_keys = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+_label_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=24
+)
+
+
+@given(
+    labels=st.dictionaries(_label_keys, _label_values, max_size=4),
+)
+def test_flat_key_round_trips_any_label_value(labels):
+    items = sorted(labels.items())
+    key = _flat_key("layer.component.event", items)
+    name, parsed = parse_flat_key(key)
+    assert name == "layer.component.event"
+    assert parsed == labels
+
+
+def test_empty_histogram_json_safe():
+    h = Histogram(bounds=(1.0, 5.0))
+    payload = h.to_json_dict()
+    # The vmin=+inf / vmax=-inf sentinels must not leak into JSON.
+    assert payload["min"] is None and payload["max"] is None
+    text = json.dumps(payload, allow_nan=False)  # raises on inf/nan
+    assert "+inf" in json.loads(text)["buckets"]
+
+
+def test_nonempty_histogram_json_preserves_extrema():
+    h = Histogram(bounds=(1.0,))
+    h.observe(0.25)
+    h.observe(7.0)
+    payload = h.to_json_dict()
+    assert payload["min"] == 0.25 and payload["max"] == 7.0
+    json.dumps(payload, allow_nan=False)
 
 
 def test_snapshot_expands_histograms():

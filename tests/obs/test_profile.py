@@ -70,6 +70,89 @@ def test_profile_not_collected_when_disabled():
     assert result.profile is None
 
 
+class _TinyCapProfiler(EngineProfiler):
+    # __slots__ blocks per-instance overrides; subclassing keeps the class
+    # attribute semantics identical while making the cap testable.
+    LATENCY_SAMPLE_CAP = 8
+
+
+def test_latency_decimation_at_cap_boundary():
+    prof = _TinyCapProfiler()
+    for i in range(7):
+        prof.record("k", float(i), sim_time=0.0, queue_depth=0)
+    # One below the cap: every sample retained, stride untouched.
+    assert prof.latency_samples == [float(i) for i in range(7)]
+    assert prof._lat_stride == 1
+
+    prof.record("k", 7.0, sim_time=0.0, queue_depth=0)
+    # Hitting the cap halves the retained samples and doubles the stride.
+    assert prof.latency_samples == [1.0, 3.0, 5.0, 7.0]
+    assert prof._lat_stride == 2
+
+    # With stride 2 only every other event is sampled from here on.
+    for i in range(8, 12):
+        prof.record("k", float(i), sim_time=0.0, queue_depth=0)
+    assert prof.latency_samples == [1.0, 3.0, 5.0, 7.0, 9.0, 11.0]
+    assert prof.events == 12  # decimation never loses event counts
+
+
+def test_latency_decimation_repeats_at_next_cap():
+    prof = _TinyCapProfiler()
+    for i in range(100):
+        prof.record("k", float(i), sim_time=0.0, queue_depth=0)
+    assert len(prof.latency_samples) < prof.LATENCY_SAMPLE_CAP
+    assert prof._lat_stride >= 4  # doubled more than once over 100 events
+    # The retained sample still spans the run, not just its head.
+    assert prof.latency_samples[0] < 20.0 and prof.latency_samples[-1] > 90.0
+    pcts = prof.latency_percentiles()
+    assert pcts["p50"] <= pcts["p95"]
+
+
+def test_record_kernel_buckets_and_render():
+    prof = EngineProfiler()
+    prof.record("Medium._deliver", 0.01, sim_time=1.0, queue_depth=0)
+    prof.record_kernel("medium_fast.prr_decode", 0.004, n=3)
+    prof.record_kernel("medium_fast.cull", 0.006)
+    prof.record_kernel("medium_fast.cull", 0.001)
+    summary = prof.summary()
+    kernels = summary["kernels"]
+    assert kernels["medium_fast.prr_decode"] == {"count": 3, "wall_s": 0.004}
+    assert kernels["medium_fast.cull"]["count"] == 2
+    # Sorted by wall time, most expensive first.
+    assert list(kernels) == ["medium_fast.cull", "medium_fast.prr_decode"]
+    assert "kernels:" in prof.render()
+    assert "medium_fast.cull" in prof.render()
+
+
+def test_merge_profiles_folds_kernels():
+    a = {"events": 1, "wall_s": 1.0,
+         "by_kind": {"x": {"count": 1, "wall_s": 1.0}},
+         "kernels": {"k.a": {"count": 2, "wall_s": 0.5}}}
+    b = {"events": 1, "wall_s": 1.0,
+         "by_kind": {"x": {"count": 1, "wall_s": 1.0}},
+         "kernels": {"k.a": {"count": 1, "wall_s": 0.25},
+                     "k.b": {"count": 4, "wall_s": 0.75}}}
+    merged = merge_profiles([a, b])
+    assert merged["kernels"]["k.a"] == {"count": 3, "wall_s": 0.75}
+    assert list(merged["kernels"]) == ["k.a", "k.b"]
+    # No kernels anywhere → the key stays absent, as before this field.
+    assert "kernels" not in merge_profiles(
+        [{"events": 1, "wall_s": 1.0, "by_kind": {}}]
+    )
+
+
+def test_fast_medium_profiles_kernel_buckets():
+    topo = grid(3, 3, spacing_m=6.0, rng=RngManager(5).stream("t"), jitter_m=0.5)
+    config = SimConfig(protocol="4b", seed=2, duration_s=150.0, warmup_s=60.0,
+                       medium="fast", profile_events=True)
+    result = CollectionNetwork(topo, config).run()
+    kernels = result.profile["kernels"]
+    assert {"medium_fast.cull", "medium_fast.fading", "medium_fast.interference",
+            "medium_fast.prr_decode"} <= set(kernels)
+    for row in kernels.values():
+        assert row["count"] > 0 and row["wall_s"] >= 0.0
+
+
 def test_merge_profiles():
     a = {"events": 10, "wall_s": 1.0,
          "by_kind": {"x": {"count": 10, "wall_s": 1.0}}}

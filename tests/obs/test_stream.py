@@ -1,0 +1,249 @@
+"""Live telemetry streaming: record schema, sinks, and the sim-time sampler."""
+
+import json
+
+import pytest
+
+from repro.obs.bridge import network_metrics
+from repro.obs.stream import (
+    JsonlStreamSink,
+    PrometheusTextSink,
+    RingStreamSink,
+    TelemetrySampler,
+    encode_record,
+    fold_snapshots,
+    read_stream,
+    validate_record,
+)
+from repro.runner import ExperimentRunner, ResultCache, Task
+from repro.sim.network import CollectionNetwork, SimConfig
+from repro.sim.rng import RngManager
+from repro.topology.generators import grid
+
+
+def _network(**overrides):
+    topo = grid(4, 4, spacing_m=6.0, rng=RngManager(5).stream("t"), jitter_m=0.5)
+    config = SimConfig(
+        protocol="4b", seed=2, duration_s=150.0, warmup_s=60.0, **overrides
+    )
+    return CollectionNetwork(topo, config)
+
+
+# ---------------------------------------------------------------------------
+# Record schema
+# ---------------------------------------------------------------------------
+def test_validate_accepts_each_kind():
+    good = [
+        {"rec": "run-start", "seq": 0, "t": 0.0, "protocol": "4b", "seed": 2,
+         "nodes": 16, "duration_s": 150.0, "period_s": 30.0},
+        {"rec": "snapshot", "seq": 1, "t": 30.0, "full": True,
+         "updates": {"sim.engine.events_run": 12}},
+        {"rec": "run-end", "seq": 2, "t": 150.0, "events_run": 99, "metrics": 43},
+        {"rec": "sweep-start", "seq": 0, "t": None, "total": 4},
+        {"rec": "run-result", "seq": 1, "t": None, "label": "4b/s1", "status": "ok"},
+        {"rec": "sweep-end", "seq": 2, "t": None, "executed": 4,
+         "cache_hits": 0, "failures": 0},
+    ]
+    for record in good:
+        assert validate_record(record) == [], record["rec"]
+
+
+def test_validate_rejects_malformed_records():
+    assert validate_record("not a dict")
+    assert validate_record({"rec": "no-such-kind", "seq": 0, "t": 0.0})
+    # Run-scoped records need a numeric t; sweep-scoped need t=null.
+    assert validate_record({"rec": "snapshot", "seq": 0, "t": None,
+                            "full": True, "updates": {}})
+    assert validate_record({"rec": "sweep-start", "seq": 0, "t": 1.0, "total": 2})
+    assert validate_record({"rec": "snapshot", "seq": -1, "t": 0.0,
+                            "full": True, "updates": {}})
+    assert validate_record({"rec": "snapshot", "seq": 0, "t": 0.0,
+                            "full": True, "updates": {"k": "string"}})
+    assert validate_record({"rec": "run-result", "seq": 0, "t": None,
+                            "label": "x", "status": "maybe"})
+    assert validate_record({"rec": "run-end", "seq": 0, "t": 1.0})  # missing fields
+
+
+def test_encode_record_is_strict_json():
+    line = encode_record({"rec": "snapshot", "seq": 0, "t": 0.0, "full": True,
+                          "updates": {"a.b.c": float("inf"), "d.e.f": 1.5}})
+    decoded = json.loads(line)
+    assert decoded["updates"]["a.b.c"] is None  # non-finite → null
+    assert decoded["updates"]["d.e.f"] == 1.5
+
+
+def test_fold_snapshots_later_updates_win():
+    stream = [
+        {"rec": "snapshot", "seq": 0, "t": 1.0, "full": True,
+         "updates": {"a.b.c": 1, "d.e.f": 2}},
+        {"rec": "run-result", "seq": 9, "t": None, "label": "x", "status": "ok"},
+        {"rec": "snapshot", "seq": 1, "t": 2.0, "full": False,
+         "updates": {"a.b.c": 5}},
+    ]
+    assert fold_snapshots(stream) == {"a.b.c": 5, "d.e.f": 2}
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+def test_jsonl_sink_round_trips(tmp_path):
+    path = tmp_path / "sub" / "stream.jsonl"  # parent dir is created
+    sink = JsonlStreamSink(path)
+    records = [
+        {"rec": "sweep-start", "seq": 0, "t": None, "total": 1},
+        {"rec": "sweep-end", "seq": 1, "t": None, "executed": 1,
+         "cache_hits": 0, "failures": 0},
+    ]
+    for record in records:
+        sink.emit(record)
+    sink.close()
+    assert list(read_stream(path)) == records
+    assert sink.stats.records_emitted == 2
+    assert sink.stats.bytes_written == path.stat().st_size
+
+
+def test_jsonl_sink_appends_across_opens(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    for seq in range(2):
+        sink = JsonlStreamSink(path)
+        sink.emit({"rec": "sweep-start", "seq": seq, "t": None, "total": 1})
+        sink.close()
+    assert len(list(read_stream(path))) == 2
+
+
+def test_ring_sink_bounds_memory():
+    sink = RingStreamSink(capacity=3)
+    for seq in range(5):
+        sink.emit({"rec": "sweep-start", "seq": seq, "t": None, "total": 1})
+    assert [r["seq"] for r in sink.records] == [2, 3, 4]
+    assert sink.dropped == 2
+    with pytest.raises(ValueError):
+        RingStreamSink(capacity=0)
+
+
+def test_prometheus_sink_folds_and_escapes(tmp_path):
+    from repro.obs.metrics import _flat_key
+
+    path = tmp_path / "metrics.prom"
+    sink = PrometheusTextSink(path)
+    sink.emit({"rec": "run-start", "seq": 0, "t": 0.0})  # ignored: not a snapshot
+    tagged = _flat_key("sim.run.tag", [("label", 'a"b\\c')])
+    sink.emit({"rec": "snapshot", "seq": 1, "t": 30.0, "full": True,
+               "updates": {"link.mac.tx_unicast{node=7}": 3, tagged: 1}})
+    sink.emit({"rec": "snapshot", "seq": 2, "t": 60.0, "full": False,
+               "updates": {"link.mac.tx_unicast{node=7}": 9}})
+    text = path.read_text()
+    assert text == sink.render()
+    assert 'link_mac_tx_unicast{node="7"} 9' in text  # latest value wins
+    assert '\\"b\\\\c' in text  # quote and backslash escaped
+
+
+# ---------------------------------------------------------------------------
+# The sampler on a real network
+# ---------------------------------------------------------------------------
+def test_sampler_stream_folds_to_exact_end_state():
+    net = _network(telemetry_period_s=30.0)
+    assert isinstance(net.telemetry, TelemetrySampler)
+    sink = net.telemetry.sink
+    assert isinstance(sink, RingStreamSink)  # no path → in-memory ring
+    net.run()
+
+    records = sink.records
+    kinds = [r["rec"] for r in records]
+    assert kinds[0] == "run-start" and kinds[-1] == "run-end"
+    snapshots = [r for r in records if r["rec"] == "snapshot"]
+    # Period 30 over 150 s: samples at 30..150 plus the run-end flush.
+    assert len(snapshots) >= 5
+    assert snapshots[0]["full"] and not any(s["full"] for s in snapshots[1:])
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    for record in records:
+        assert validate_record(record) == [], record
+
+    # The acceptance contract: the fold equals the end-of-run registry
+    # snapshot key-for-key (sampler default is per_node=False).
+    assert fold_snapshots(records) == network_metrics(net, per_node=False).snapshot()
+
+    end = records[-1]
+    assert end["events_run"] == net.engine.events_run
+    assert end["resources"]["cpu_s"] >= 0.0
+    assert net.run_resources is not None
+
+
+def test_sampler_per_node_mode_folds_exactly():
+    net = _network(telemetry_period_s=50.0, telemetry_per_node=True)
+    net.run()
+    records = net.telemetry.sink.records
+    folded = fold_snapshots(records)
+    assert folded == network_metrics(net, per_node=True).snapshot()
+    assert any("{" in key for key in folded)  # per-node labels survived
+
+
+def test_sampler_streams_to_jsonl_path(tmp_path):
+    path = tmp_path / "live.jsonl"
+    net = _network(telemetry_period_s=30.0, telemetry_path=str(path))
+    net.run()
+    records = list(read_stream(path))
+    assert fold_snapshots(records) == network_metrics(net, per_node=False).snapshot()
+    assert all(validate_record(r) == [] for r in records)
+    assert records[0]["run"] == "4b-seed2"
+
+
+def test_telemetry_is_pure_observer():
+    plain = _network().run()
+    sampled = _network(telemetry_period_s=30.0).run()
+    lhs, rhs = plain.to_json_dict(), sampled.to_json_dict()
+    # Sampler events are extra engine events; everything simulated matches.
+    assert lhs.pop("events_run") < rhs.pop("events_run")
+    lhs.pop("resources"), rhs.pop("resources")
+    assert lhs == rhs
+
+
+def test_telemetry_config_validation():
+    with pytest.raises(ValueError):
+        SimConfig(protocol="4b", seed=1, duration_s=10.0, warmup_s=0.0,
+                  telemetry_period_s=0.0)
+    with pytest.raises(ValueError):
+        SimConfig(protocol="4b", seed=1, duration_s=10.0, warmup_s=0.0,
+                  telemetry_path="x.jsonl")  # path requires a period
+
+
+# ---------------------------------------------------------------------------
+# Runner sweep records
+# ---------------------------------------------------------------------------
+def _double(x):
+    return x * 2
+
+
+def test_runner_emits_sweep_scoped_records(tmp_path):
+    sink = RingStreamSink(capacity=64)
+    cache = ResultCache(tmp_path)
+    tasks = [Task(_double, n, label=f"double({n})") for n in (1, 2)]
+
+    runner = ExperimentRunner(cache=cache, telemetry=sink)
+    runner.run(tasks)
+    kinds = [r["rec"] for r in sink.records]
+    assert kinds == ["sweep-start", "run-result", "run-result", "sweep-end"]
+    assert all(validate_record(r) == [] for r in sink.records)
+    assert {r["status"] for r in sink.records if r["rec"] == "run-result"} == {"ok"}
+    end = sink.records[-1]
+    assert end["executed"] == 2 and end["cache_hits"] == 0 and end["failures"] == 0
+
+    rerun = ExperimentRunner(cache=cache, telemetry=RingStreamSink(capacity=64))
+    rerun.run(tasks)
+    statuses = [r["status"] for r in rerun.telemetry.records
+                if r["rec"] == "run-result"]
+    assert statuses == ["cached", "cached"]
+
+
+def _explode(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def test_runner_emits_failed_run_results():
+    sink = RingStreamSink(capacity=16)
+    runner = ExperimentRunner(strict=False, telemetry=sink)
+    runner.run([Task(_explode, 1, label="explode(1)")])
+    failed = [r for r in sink.records if r["rec"] == "run-result"]
+    assert failed and failed[0]["status"] == "failed"
+    assert "boom" in failed[0]["error"]
+    assert sink.records[-1]["failures"] == 1
