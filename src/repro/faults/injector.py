@@ -79,6 +79,12 @@ class FaultInjector:
         self.stats = FaultStats()
         #: Nodes currently down (crash seen, reboot not yet).
         self.crashed: Set[int] = set()
+        #: Nodes we detached from an incremental medium (fast backend):
+        #: re-attached on reboot.  The exact backend keeps crashed nodes
+        #: attached (detaching would force an O(N·k) rebuild per fault and
+        #: perturb its bit-identical stream), relying on the MAC shutdown
+        #: for dead-node silence.
+        self._detached: Set[int] = set()
         #: Observers called as ``(kind, time_s, fields)`` after each fault
         #: lands (tracing, the invariant checker).
         self.on_event: List[FaultObserver] = []
@@ -176,6 +182,13 @@ class FaultInjector:
         node.crashed = True
         self.crashed.add(node_id)
         self._wipe(node_id)
+        medium = self._network.medium
+        if medium.supports_incremental and node_id not in self._detached:
+            # Incremental backend (fast): route the crash through an O(k)
+            # medium detach so the dead node stops being a candidate /
+            # interference target without any rebuild (DESIGN.md §11).
+            medium.detach(node_id)
+            self._detached.add(node_id)
         self.stats.node_crashes += 1
         self._emit("crash", node=node_id)
 
@@ -184,6 +197,9 @@ class FaultInjector:
         self._wipe(node_id)
         node.crashed = False
         self.crashed.discard(node_id)
+        if node_id in self._detached:
+            self._detached.discard(node_id)
+            self._network.medium.attach(node.mac)
         node.mac.restart()
         node.protocol.fault_restart()
         # Restart traffic unless the drain window has begun (the global

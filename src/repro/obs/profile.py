@@ -43,6 +43,7 @@ class EngineProfiler:
         "_wall_start",
         "wall_s",
         "events",
+        "compactions",
     )
 
     def __init__(self, queue_sample_every: int = 256) -> None:
@@ -64,6 +65,10 @@ class EngineProfiler:
         self._wall_start: Optional[float] = None
         self.wall_s = 0.0
         self.events = 0
+        #: Heap tombstone compactions (mirrored from ``Engine.compactions``
+        #: each time one runs): distinguishes "many canceled timers" churn
+        #: from genuine event-volume cost in a profile.
+        self.compactions = 0
 
     def record(self, kind: str, wall_s: float, sim_time: float, queue_depth: int) -> None:
         """Account one executed event (called by the engine's step loop)."""
@@ -132,6 +137,7 @@ class EngineProfiler:
             "events": self.events,
             "wall_s": self.wall_s,
             "events_per_s": self.events_per_s(),
+            "compactions": self.compactions,
             "by_kind": {
                 kind: {"count": count, "wall_s": wall}
                 for kind, count, wall in self.by_kind()
@@ -198,9 +204,11 @@ def merge_profiles(profiles: List[Optional[Dict[str, object]]]) -> Optional[Dict
     kernels: Dict[str, Dict[str, float]] = {}
     events = 0
     wall = 0.0
+    compactions = 0
     for p in live:
         events += int(p.get("events", 0))
         wall += float(p.get("wall_s", 0.0))
+        compactions += int(p.get("compactions", 0))
         for kind, row in p.get("by_kind", {}).items():
             agg = by_kind.setdefault(kind, {"count": 0, "wall_s": 0.0})
             agg["count"] += int(row.get("count", 0))
@@ -213,6 +221,7 @@ def merge_profiles(profiles: List[Optional[Dict[str, object]]]) -> Optional[Dict
         "events": events,
         "wall_s": wall,
         "events_per_s": events / wall if wall > 0 else 0.0,
+        "compactions": compactions,
         "by_kind": dict(
             sorted(by_kind.items(), key=lambda kv: kv[1]["wall_s"], reverse=True)
         ),

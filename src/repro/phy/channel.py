@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from random import Random
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.rng import RngManager
 
@@ -125,6 +125,11 @@ class ChannelModel:
         self._gilbert: Dict[Tuple[int, int], Optional[_GilbertState]] = {}
         #: Cached time-invariant gain (path loss + shadowing) per pair.
         self._mean_gain: Dict[Tuple[int, int], float] = {}
+        #: node → cached mean-gain pair keys touching it, so a position
+        #: update invalidates O(k) entries instead of scanning the cache.
+        #: (An inner dict, not a set: iteration order must stay
+        #: deterministic, and re-registration must not duplicate.)
+        self._mean_keys_by_node: Dict[int, Dict[Tuple[int, int], None]] = {}
         #: dt → (exp(−dt/τ), innovation sigma); both are pure functions of
         #: dt, so memoizing them is result-neutral.
         self._decay: Dict[float, Tuple[float, float]] = {}
@@ -138,6 +143,25 @@ class ChannelModel:
         if node_id in self.positions:
             raise ValueError(f"duplicate node id {node_id}")
         self.positions[node_id] = pos
+
+    def update_position(self, node_id: int, pos: Position) -> None:
+        """Move a node, invalidating the cached mean gains of its pairs.
+
+        Only the distance-dependent part of the gain re-derives: static
+        shadowing and the OU/Gilbert fading state are keyed by *pair
+        identity*, not distance, so a moving node keeps its per-pair draws
+        (the mobility contract in DESIGN.md §11).  Cost is O(k) in the
+        number of pairs whose mean gain was ever cached against this node.
+        """
+        if node_id not in self.positions:
+            raise ValueError(f"unknown node id {node_id}")
+        self.positions[node_id] = pos
+        keys = self._mean_keys_by_node.get(node_id)
+        if keys:
+            mean_gain = self._mean_gain
+            for key in keys:
+                mean_gain.pop(key, None)
+            keys.clear()
 
     def distance(self, a: int, b: int) -> float:
         (ax, ay), (bx, by) = self.positions[a], self.positions[b]
@@ -234,11 +258,69 @@ class ChannelModel:
         if mean is None:
             mean = -self.pathloss.loss_db(self.distance(a, b)) + self._static_shadowing_db(a, b)
             self._mean_gain[key] = mean
+            by_node = self._mean_keys_by_node
+            index = by_node.get(key[0])
+            if index is None:
+                index = by_node[key[0]] = {}
+            index[key] = None
+            index = by_node.get(key[1])
+            if index is None:
+                index = by_node[key[1]] = {}
+            index[key] = None
         return mean
 
     def mean_gain_db(self, a: int, b: int) -> float:
         """Time-invariant part of the gain (path loss + static shadowing)."""
         return self._mean_for(self._pair(a, b), a, b)
+
+    def mean_gain_many(self, a: int, rids: Sequence[int]) -> List[float]:
+        """Batched :meth:`mean_gain_db`: gains from ``a`` to each of ``rids``.
+
+        The mobility hot path re-derives a whole neighborhood's mean gains
+        every time a sender's batch rebuilds (after a tick, every
+        neighbor's cached gain is stale); inlining the per-pair cache
+        probe/fill here pays the call overhead once per batch instead of
+        three frames per pair.  The formula is kept term-for-term
+        identical to the scalar path (:meth:`PathLossModel.loss_db` /
+        :meth:`_static_shadowing_db`), so batched and scalar queries agree
+        bitwise and fill the same caches in the same order.
+        """
+        mean_gain = self._mean_gain
+        positions = self.positions
+        shadowing = self._shadowing
+        by_node = self._mean_keys_by_node
+        pathloss = self.pathloss
+        pl_d0 = pathloss.pl_d0_db
+        ten_n = 10.0 * pathloss.exponent
+        d0 = pathloss.d0_m
+        sigma = self.shadowing_sigma_db
+        rng = self._rng
+        ax, ay = positions[a]
+        index_a = by_node.get(a)
+        if index_a is None:
+            index_a = by_node[a] = {}
+        out: List[float] = []
+        for b in rids:
+            key = (a, b) if a <= b else (b, a)
+            mean = mean_gain.get(key)
+            if mean is None:
+                bx, by = positions[b]
+                d = math.hypot(ax - bx, ay - by)
+                if d < d0:
+                    d = d0
+                shadow = shadowing.get(key)
+                if shadow is None:
+                    stream = rng.stream("shadow", key[0], key[1])
+                    shadow = shadowing[key] = stream.gauss(0.0, sigma)
+                mean = -(pl_d0 + ten_n * math.log10(d / d0)) + shadow
+                mean_gain[key] = mean
+                index_a[key] = None
+                index_b = by_node.get(b)
+                if index_b is None:
+                    index_b = by_node[b] = {}
+                index_b[key] = None
+            out.append(mean)
+        return out
 
     def gain_db(self, a: int, b: int, t: float) -> float:
         """Instantaneous channel gain (symmetric) at simulated time ``t``."""

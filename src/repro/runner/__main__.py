@@ -72,6 +72,13 @@ def main(argv=None) -> int:
         "surface in the summary",
     )
     parser.add_argument(
+        "--mobility",
+        default=None,
+        metavar="PRESET|FILE",
+        help="random-waypoint motion: a preset name (pedestrian, vehicular) "
+        "or a MobilityConfig JSON file; default is a static network",
+    )
+    parser.add_argument(
         "--check-invariants",
         action="store_true",
         help="run the invariant checker in every run (fails loudly on a "
@@ -146,6 +153,20 @@ def main(argv=None) -> int:
                 f"and no such file"
             )
         overrides["collect_metrics"] = True
+    if args.mobility is not None:
+        from repro.sim.mobility import MOBILITY_PRESETS, MobilityConfig
+
+        if args.mobility in MOBILITY_PRESETS:
+            overrides["mobility"] = args.mobility
+        elif Path(args.mobility).exists():
+            # Like --faults FILE: load here so the cache key digests the
+            # config's *content*, not the path it happened to live at.
+            overrides["mobility"] = MobilityConfig.from_json_file(args.mobility)
+        else:
+            parser.error(
+                f"--mobility {args.mobility!r}: not a preset "
+                f"{sorted(MOBILITY_PRESETS)} and no such file"
+            )
     if args.check_invariants:
         overrides["check_invariants"] = True
     if args.medium != "exact":

@@ -31,7 +31,10 @@ from typing import Any
 #: 4: SimConfig grew the live-telemetry selectors (``telemetry_period_s``,
 #: ``telemetry_path``, ``telemetry_per_node``) and CollectionResult grew
 #: ``resources``; both change config digests and pickled payload shapes.
-CACHE_SCHEMA_VERSION = 4
+#: 5: SimConfig grew ``mobility`` (preset name or MobilityConfig JSON
+#: round-trip) — config digests change shape, and mobile fast-medium runs
+#: exercise incremental structural maintenance absent from v4 payloads.
+CACHE_SCHEMA_VERSION = 5
 
 
 def _frame(raw: bytes) -> bytes:

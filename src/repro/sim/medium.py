@@ -187,6 +187,12 @@ class _Transmission:
 class RadioMedium:
     """The shared channel all attached radios transmit into."""
 
+    #: Whether structural changes after :meth:`finalize` (attach / detach /
+    #: :meth:`update_position`) are patched incrementally.  This backend
+    #: rebuilds instead — O(N·k) per change, correct but slow; the fast
+    #: backend overrides with O(k) in-place patching (DESIGN.md §11).
+    supports_incremental = False
+
     def __init__(
         self,
         engine: Engine,
@@ -235,6 +241,32 @@ class RadioMedium:
         self._participants[nid] = participant
         if receiver:
             self._receivers[nid] = participant
+        self._finalized = False
+
+    def detach(self, node_id: int) -> None:
+        """Remove a participant (a crashed node goes dark at the medium).
+
+        The node's channel position is kept: pair identity (shadowing,
+        fading state) survives a crash/reboot cycle, and an in-flight
+        transmission from the departing node still interferes.  This
+        backend marks the candidate structure for a lazy full rebuild;
+        the fast backend patches incrementally.
+        """
+        if node_id not in self._participants:
+            raise ValueError(f"detach: node {node_id} is not attached to the medium")
+        del self._participants[node_id]
+        self._receivers.pop(node_id, None)
+        self._finalized = False
+
+    def update_position(self, node_id: int, x: float, y: float) -> None:
+        """Move a node, re-deriving path loss from the new position.
+
+        Shadowing and fading state are pair-identity-keyed and survive the
+        move (DESIGN.md §11).  This backend invalidates the whole candidate
+        structure and rebuilds lazily — the O(N·k) reference semantics the
+        fast backend's O(k) incremental patching must match.
+        """
+        self.channel.update_position(node_id, (x, y))
         self._finalized = False
 
     def enable_faults(self) -> MediumFaultState:
@@ -438,8 +470,11 @@ class RadioMedium:
         overlapping = self._overlapping(tx)
         t = tx.end
         sender_id = tx.sender
+        sender = self._participants.get(sender_id)
+        if sender is None:
+            return  # sender detached (crashed) mid-flight: the frame dies with it
         power_dbm = tx.power_dbm
-        params: RadioParams = self._participants[sender_id].radio.params
+        params: RadioParams = sender.radio.params
         frame_bytes = frame.length_bytes + params.phy_overhead_bytes
         channel = self.channel
         # ---- hoisted channel state -----------------------------------

@@ -16,6 +16,17 @@ the same counters, the same fault overlay) but restructures the hot path:
   interference accumulation to nodes within the link budget's reach, so
   far-away nodes are never enumerated: candidate construction is O(N·k)
   in the number of in-range neighbors k, not O(N²).
+* **Incremental maintenance** (DESIGN.md §11).  After ``finalize()`` the
+  structure is patched in place instead of rebuilt: ``attach``/``detach``/
+  ``update_position`` re-bucket the moved node in the grid, bump a global
+  *epoch*, and mark the node plus its old and new neighbors stale.  A
+  sender's SoA batch carries the epoch it was built at and is lazily
+  rebuilt — O(k), one sender — the next time that sender transmits or
+  carrier-senses.  Per-pair channel-state slots are allocated on first
+  in-range contact and recycled through a free list when a pair drifts
+  out of range, so a 10k-node mobile run never allocates O(N²) slots.
+  Cached dense interference vectors are invalidated per affected
+  interferer only.  Everything stays O(k) per structural event.
 
 **Equivalence contract** (DESIGN.md §9): the fast backend is
 *distribution-equivalent* to the exact scalar path, not bit-identical.
@@ -66,7 +77,8 @@ from repro.sim.spatial import SpatialGrid
 #: its shadowing draw exceeds this many sigmas (P ≈ 3·10⁻⁵ at 4σ).
 DEFAULT_SHADOW_MARGIN_SIGMAS = 4.0
 
-#: Bound on the per-(interferer, power) dense interference-vector cache.
+#: Bound on the total number of cached dense interference vectors
+#: (entries across all per-interferer sub-dicts).
 _INTER_CACHE_MAX = 65536
 
 _MISSING = object()
@@ -89,6 +101,8 @@ class _SenderBatch:
         "n",
         "all_idx",
         "rid_dense",
+        "cca_heard",
+        "epoch",
     )
 
     def __init__(
@@ -104,6 +118,8 @@ class _SenderBatch:
         mod_ids: Any,
         mod_names: List[str],
         rid_dense: Any,
+        cca_heard: frozenset,
+        epoch: int,
     ) -> None:
         self.rids = rids
         self.rid_list = rid_list
@@ -120,10 +136,17 @@ class _SenderBatch:
         #: Index of each candidate in the medium's dense receiver axis
         #: (used to gather accumulated interference vectors).
         self.rid_dense = rid_dense
+        #: Node ids whose CCA hears this sender's carrier (mean-field).
+        self.cca_heard = cca_heard
+        #: Structural epoch this batch was built at; stale when below the
+        #: sender's entry in ``FastRadioMedium._sender_epoch``.
+        self.epoch = epoch
 
 
 class FastRadioMedium(RadioMedium):
     """Numpy-vectorized, spatially-culled medium backend (``medium="fast"``)."""
+
+    supports_incremental = True
 
     def __init__(
         self,
@@ -151,13 +174,38 @@ class FastRadioMedium(RadioMedium):
         self._cca_heard: Dict[int, frozenset] = {}
         #: Dense receiver axis: every attached receiver id in attach order,
         #: plus its coordinates as parallel arrays (built by finalize).
+        #: A detached receiver keeps its dense slot with coordinates set to
+        #: +inf (so distance tests exclude it); a same-id reattach reuses
+        #: the slot, and a brand-new id appends to the axis.
         self._dense_ids: List[int] = []
+        self._dense_index: Dict[int, int] = {}
         self._dense_x: Any = None
         self._dense_y: Any = None
-        #: (interferer, tx power) → mean interference power in mW at every
-        #: dense receiver (or None when none is in reach); built once per
+        #: interferer → {tx power → mean interference power in mW at every
+        #: dense receiver} (or None when none is in reach); built once per
         #: interferer in O(N) and gathered per batch — see _dense_inter_mw.
-        self._inter_cache: Dict[Tuple[int, float], Any] = {}
+        #: Nested per interferer so a structural event involving one node
+        #: drops only that node's vectors in O(1).
+        self._inter_cache: Dict[int, Dict[float, Any]] = {}
+        self._inter_cache_entries = 0
+        #: Lazily-invalidated interference entries: {interferer: {receiver:
+        #: None}} marks receivers whose entry in the interferer's cached
+        #: vectors is stale (the receiver moved / attached / detached).
+        #: Patched on the next query — under continuous mobility most marks
+        #: are overwritten before the vector is ever read, so eager
+        #: patching would recompute gains that are never used.
+        self._inter_dirty: Dict[int, Dict[int, None]] = {}
+        #: Incremental-maintenance state (DESIGN.md §11): the global
+        #: structural epoch, the minimum epoch each sender's batch must
+        #: have been built at to be served, recycled pair slots, and the
+        #: current capacity of the per-pair state arrays.
+        self._epoch = 0
+        self._sender_epoch: Dict[int, int] = {}
+        self._free_slots: List[int] = []
+        self._slot_cap = 0
+        #: receiver id → (noise mW, noise dB), derived once per receiver —
+        #: noise floors never change after hardware variation is applied.
+        self._noise_cache: Dict[int, Tuple[float, float]] = {}
         #: (modulation, frame bytes) → quantized PRR table.
         self._prr_tables: Dict[Tuple[str, int], Any] = {}
         self._grid: Optional[SpatialGrid] = None
@@ -221,16 +269,23 @@ class FastRadioMedium(RadioMedium):
         grid_ids = {nid: positions[nid] for nid in self._participants}
         self._grid = SpatialGrid(grid_ids, self._radius_m)
         self._inter_cache = {}
+        self._inter_cache_entries = 0
+        self._inter_dirty = {}
+        self._noise_cache = {}
         self._pair_slot = {}
         pair_slot = self._pair_slot
         self._candidates = {}
         self._rx_rows = {}  # unused by this backend; kept empty for parity
         self._soa = {}
         self._cca_heard = {}
+        self._epoch = 0
+        self._sender_epoch = {}
+        self._free_slots = []
 
         #: Receiver attach order — candidate lists keep the exact path's
         #: enumeration order so the two backends deliver in the same order.
         receiver_order = {rid: i for i, rid in enumerate(self._receivers)}
+        self._dense_index = receiver_order
         self._dense_ids = list(self._receivers)
         self._dense_x = np.asarray(
             [positions[rid][0] for rid in self._dense_ids], dtype=np.float64
@@ -309,11 +364,14 @@ class FastRadioMedium(RadioMedium):
                     dtype=np.int64,
                     count=len(rid_list),
                 ),
+                cca_heard=frozenset(cca_heard[sid]),
+                epoch=0,
             )
-        self._cca_heard = {sid: frozenset(heard) for sid, heard in cca_heard.items()}
+        self._cca_heard = {sid: batch.cca_heard for sid, batch in self._soa.items()}
 
         # ---- shared per-pair channel state (one slot per unordered pair)
         n_pairs = len(pair_slot)
+        self._slot_cap = n_pairs
         if channel.temporal_sigma_db > 0.0:
             self._ou_x = self._gen_ou_init.standard_normal(n_pairs) * channel.temporal_sigma_db
             self._ou_t = np.zeros(n_pairs)
@@ -348,6 +406,420 @@ class FastRadioMedium(RadioMedium):
         self._finalized = True
 
     # ------------------------------------------------------------------
+    # Incremental maintenance (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    # After finalize(), structural changes never trigger a full rebuild.
+    # Each mutator bumps the global epoch, records the bumped epoch for
+    # every sender whose candidate set could have changed (the changed
+    # node plus its old and new spatial neighbors — O(k) of them), and
+    # drops those nodes' cached dense interference vectors.  Batches are
+    # then rebuilt lazily, one sender at a time, by _ensure_batch.
+
+    @staticmethod
+    def _pair_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def _ensure_batch(self, sid: int) -> Optional[_SenderBatch]:
+        """Return ``sid``'s batch, rebuilding it if structurally stale."""
+        batch = self._soa.get(sid)
+        if batch is not None and batch.epoch >= self._sender_epoch.get(sid, 0):
+            return batch
+        return self._build_batch(sid)
+
+    def _build_batch(self, sid: int) -> Optional[_SenderBatch]:
+        """Rebuild one sender's SoA batch from the live grid — O(k)."""
+        sender = self._participants.get(sid)
+        if sender is None:
+            return None
+        grid = self._grid
+        assert grid is not None
+        channel = self.channel
+        ptx = sender.radio.effective_tx_power_dbm
+        order = self._dense_index
+        near = grid.neighbors(sid)
+        near.sort(key=lambda rid: order.get(rid, len(order)))
+        # One batched gain derivation for the whole neighborhood: under
+        # mobility every neighbor's cached mean gain is stale after each
+        # tick, so this loop is the rebuild hot path.
+        near_gains = channel.mean_gain_many(sid, near)
+        noise_cache = self._noise_cache
+        row: List[Tuple[int, float]] = []
+        rid_list: List[int] = []
+        receivers: List[Any] = []
+        gains: List[float] = []
+        noise_mw: List[float] = []
+        noise_db: List[float] = []
+        mods: List[str] = []
+        heard: List[int] = []
+        for rid, gain in zip(near, near_gains):
+            receiver = self._receivers.get(rid)
+            if receiver is not None:
+                mean_snr = ptx + gain - receiver.radio.noise_floor_dbm
+                if mean_snr >= self.snr_cutoff_db:
+                    row.append((rid, gain))
+                    rid_list.append(rid)
+                    receivers.append(receiver)
+                    gains.append(gain)
+                    noise = noise_cache.get(rid)
+                    if noise is None:
+                        # Noise floors are fixed once hardware variation
+                        # has been applied (pre-finalize), so the derived
+                        # mW / dB pair is cacheable per receiver.
+                        n_mw = 10.0 ** (receiver.radio.noise_floor_dbm / 10.0)
+                        noise = noise_cache[rid] = (n_mw, 10.0 * math.log10(n_mw))
+                    noise_mw.append(noise[0])
+                    noise_db.append(noise[1])
+                    mods.append(receiver.radio.params.modulation)
+            listener = self._participants.get(rid)
+            if listener is not None:
+                if ptx + gain >= listener.radio.params.cca_threshold_dbm:
+                    heard.append(rid)
+        # Structural-reuse fast path: under sub-cell mobility steps, a
+        # rebuilt batch almost always has the same rows as the previous
+        # one — only the mean gains moved.  Reusing the prior batch's
+        # structural arrays (ids, noise, slots, modulations, dense gather
+        # index) after verifying row identity, receiver objects, and live
+        # pair slots skips most of the allocation cost of a full rebuild.
+        prev = self._soa.get(sid)
+        if prev is not None and rid_list == prev.rid_list:
+            pair_slot_map = self._pair_slot
+            prev_idx = prev.pair_idx
+            reusable = True
+            for i, rid in enumerate(rid_list):
+                if receivers[i] is not prev.receivers[i] or pair_slot_map.get(
+                    self._pair_key(sid, rid)
+                ) != prev_idx[i]:
+                    # A pair that left range and came back was re-slotted
+                    # (or a participant object was swapped): full rebuild.
+                    reusable = False
+                    break
+            if reusable:
+                prev.mean_gain = np.asarray(gains, dtype=np.float64)
+                heard_f = frozenset(heard)
+                if heard_f != prev.cca_heard:
+                    prev.cca_heard = heard_f
+                    self._cca_heard[sid] = heard_f
+                prev.epoch = self._epoch
+                self._candidates[sid] = row
+                return prev
+        pair_idx = [self._alloc_pair_slot(self._pair_key(sid, rid)) for rid in rid_list]
+        mod_uniform: Optional[str] = mods[0] if mods and len(set(mods)) == 1 else None
+        mod_names = sorted(set(mods))
+        mod_name_index = {name: i for i, name in enumerate(mod_names)}
+        batch = _SenderBatch(
+            rids=np.asarray(rid_list, dtype=np.int64),
+            rid_list=rid_list,
+            receivers=receivers,
+            mean_gain=np.asarray(gains, dtype=np.float64),
+            noise_mw=np.asarray(noise_mw, dtype=np.float64),
+            noise_db=np.asarray(noise_db, dtype=np.float64),
+            pair_idx=np.asarray(pair_idx, dtype=np.int64),
+            mod_uniform=mod_uniform,
+            mod_ids=np.fromiter(
+                (mod_name_index[m] for m in mods), dtype=np.int64, count=len(mods)
+            ),
+            mod_names=mod_names,
+            rid_dense=np.fromiter(
+                (order[rid] for rid in rid_list), dtype=np.int64, count=len(rid_list)
+            ),
+            cca_heard=frozenset(heard),
+            epoch=self._epoch,
+        )
+        self._soa[sid] = batch
+        self._candidates[sid] = row
+        self._cca_heard[sid] = batch.cca_heard
+        return batch
+
+    # ---- per-pair channel-state slots: lazy allocation + free list ----
+    def _alloc_pair_slot(self, pair: Tuple[int, int]) -> int:
+        """Slot for ``pair``, allocating (and drawing initial state) on
+        first in-range contact.  Recycled slots come off the free list;
+        otherwise the state arrays grow geometrically."""
+        slot = self._pair_slot.get(pair)
+        if slot is not None:
+            return slot
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            # Invariant: len(_pair_slot) + len(_free_slots) == high-water
+            # slot count, so with no free slots the next fresh index is
+            # exactly len(_pair_slot).
+            slot = len(self._pair_slot)
+            if slot >= self._slot_cap:
+                self._grow_slots(slot + 1)
+        self._pair_slot[pair] = slot
+        self._init_slot(slot)
+        return slot
+
+    def _init_slot(self, slot: int) -> None:
+        """Draw fresh OU / Gilbert initial state for a newly allocated slot.
+
+        Same distributions as the finalize-time vectorized draws; a pair
+        re-entering range redraws (the fast backend does not remember
+        out-of-range pairs — see DESIGN.md §11 for the equivalence caveat).
+        """
+        channel = self.channel
+        now = self.engine.now
+        if self._ou_x is not None:
+            self._ou_x[slot] = (
+                self._gen_ou_init.standard_normal() * channel.temporal_sigma_db
+            )
+            self._ou_t[slot] = now
+        if self._g_bimodal is not None:
+            member = bool(self._gen_bimodal_init.random() < channel.bimodal_fraction)
+            pi_faded = channel.fade_dwell_s / (channel.fade_dwell_s + channel.good_dwell_s)
+            faded = bool(self._gen_bimodal_init.random() < pi_faded)
+            self._g_bimodal[slot] = member
+            self._g_faded[slot] = member and faded
+            self._g_t[slot] = now
+
+    def _evict_pair(self, pair: Tuple[int, int]) -> None:
+        """Release a pair's slot back to the free list (out of range)."""
+        slot = self._pair_slot.pop(pair, None)
+        if slot is not None:
+            self._free_slots.append(slot)
+
+    def _grow_slots(self, min_cap: int) -> None:
+        new_cap = max(min_cap, 2 * self._slot_cap, 64)
+
+        def grow(arr: Any) -> Any:
+            out = np.zeros(new_cap, dtype=arr.dtype)
+            out[: arr.shape[0]] = arr
+            return out
+
+        if self._ou_x is not None:
+            self._ou_x = grow(self._ou_x)
+            self._ou_t = grow(self._ou_t)
+        if self._g_bimodal is not None:
+            self._g_bimodal = grow(self._g_bimodal)
+            self._g_faded = grow(self._g_faded)
+            self._g_t = grow(self._g_t)
+        self._slot_cap = new_cap
+
+    def _drop_inter(self, oid: int) -> None:
+        """Invalidate the cached dense interference vectors from ``oid``."""
+        sub = self._inter_cache.pop(oid, None)
+        if sub:
+            self._inter_cache_entries -= len(sub)
+        self._inter_dirty.pop(oid, None)
+
+    def _mark_inter_dirty(self, oids: Dict[int, None], rid: int) -> None:
+        """Mark receiver ``rid``'s entry stale in each of ``oids``'s cached
+        interference vectors — O(1) per mark; patched at next query."""
+        inter_cache = self._inter_cache
+        dirty = self._inter_dirty
+        for a in oids:
+            if a in inter_cache:
+                d = dirty.get(a)
+                if d is None:
+                    d = dirty[a] = {}
+                d[rid] = None
+
+    def _patch_inter(self, oid: int, rid: int) -> None:
+        """Recompute receiver ``rid``'s entry in each cached interference
+        vector from ``oid``.
+
+        When a node moves (or attaches/detaches), a neighboring
+        interferer's vector changes at exactly one entry — the changed
+        receiver's.  Patching that entry in place is O(cached powers)
+        instead of dropping the whole vector and paying an O(k) rebuild
+        at the next overlap (the dominant cost of naive invalidation
+        under continuous mobility).  In-place mutation is safe: the hot
+        path only aliases these arrays within a single event.
+        """
+        by_oid = self._inter_cache.get(oid)
+        if not by_oid:
+            return
+        j = self._dense_index.get(rid)
+        if j is None:
+            return  # rid is not on the dense receiver axis: no entry to patch
+        opos = self.channel.positions.get(oid)
+        if opos is None:
+            self._drop_inter(oid)
+            return
+        dx = float(self._dense_x[j]) - opos[0]
+        dy = float(self._dense_y[j]) - opos[1]
+        in_range = (
+            rid != oid
+            and rid in self._receivers
+            and dx * dx + dy * dy <= self._radius_m * self._radius_m
+        )
+        if not in_range:
+            for dense in by_oid.values():
+                if dense is not None:
+                    dense[j] = 0.0
+            return
+        extra = self._ou_mean_extra_db
+        if self._g_bimodal is not None:
+            slot = self._pair_slot.get((oid, rid) if oid <= rid else (rid, oid))
+            if slot is None:
+                extra += self._expected_bimodal_extra_db
+            elif self._g_bimodal[slot]:
+                extra += self._bimodal_mean_extra_db
+        gain = self.channel.mean_gain_db(oid, rid) + extra
+        stale_nones = [p for p, dense in by_oid.items() if dense is None]
+        for p in stale_nones:
+            # The vector said "no receiver in reach", which just became
+            # false — drop it for a rebuild at next use.
+            del by_oid[p]
+            self._inter_cache_entries -= 1
+        for power_dbm, dense in by_oid.items():
+            dense[j] = 10.0 ** ((power_dbm + gain) / 10.0)
+
+    def _bump_neighborhood(
+        self, node_id: int, neighbor_lists: List[List[int]]
+    ) -> Dict[int, None]:
+        """Mark ``node_id`` and the union of ``neighbor_lists`` stale;
+        returns the deduplicated neighbor union (insertion-ordered)."""
+        self._epoch += 1
+        epoch = self._epoch
+        sender_epoch = self._sender_epoch
+        sender_epoch[node_id] = epoch
+        affected: Dict[int, None] = {}
+        for lst in neighbor_lists:
+            for a in lst:
+                affected[a] = None
+        for a in affected:
+            sender_epoch[a] = epoch
+        return affected
+
+    # ---- structural mutators ------------------------------------------
+    def attach(self, participant: Any, receiver: bool = True) -> None:
+        """Register a participant; after finalize, patch incrementally.
+
+        A post-finalize attach requires the node's channel position to be
+        registered first — without it the spatial index cannot place the
+        node and every existing batch would silently go stale, so this
+        raises ``RuntimeError`` instead of serving wrong results.
+        """
+        if not self._finalized:
+            super().attach(participant, receiver)
+            return
+        nid = participant.node_id
+        if nid in self._participants:
+            raise ValueError(f"node {nid} already attached")
+        pos = self.channel.positions.get(nid)
+        if pos is None:
+            raise RuntimeError(
+                f"attach after finalize: node {nid} has no channel position; "
+                "call channel.add_position first (the fast backend patches "
+                "structure incrementally and cannot place an unlocated node)"
+            )
+        self._participants[nid] = participant
+        if receiver:
+            self._receivers[nid] = participant
+            j = self._dense_index.get(nid)
+            if j is None:
+                self._dense_index[nid] = len(self._dense_ids)
+                self._dense_ids.append(nid)
+                self._dense_x = np.append(self._dense_x, pos[0])
+                self._dense_y = np.append(self._dense_y, pos[1])
+                # The dense axis grew: every cached interference vector is
+                # now too short for it.  Drop them all (rare event).
+                self._inter_cache.clear()
+                self._inter_cache_entries = 0
+                self._inter_dirty.clear()
+            else:
+                # Same-id reattach (reboot): reuse the tombstoned slot.
+                self._dense_x[j] = pos[0]
+                self._dense_y[j] = pos[1]
+        grid = self._grid
+        assert grid is not None
+        grid.add(nid, pos)
+        affected = self._bump_neighborhood(nid, [grid.neighbors(nid)])
+        self._drop_inter(nid)
+        self._mark_inter_dirty(affected, nid)
+
+    def detach(self, node_id: int) -> None:
+        """Remove a participant; after finalize, patch incrementally.
+
+        The channel position is kept (pair identity survives a crash /
+        reboot cycle) but the dense receiver slot is tombstoned with +inf
+        coordinates so interference vectors exclude the dead node, and
+        the node's pair slots are released for reuse.
+        """
+        if not self._finalized:
+            super().detach(node_id)
+            return
+        if node_id not in self._participants:
+            raise ValueError(f"detach: node {node_id} is not attached to the medium")
+        grid = self._grid
+        assert grid is not None
+        old_neighbors = grid.neighbors(node_id) if node_id in grid else []
+        if node_id in grid:
+            grid.remove(node_id)
+        del self._participants[node_id]
+        self._receivers.pop(node_id, None)
+        j = self._dense_index.get(node_id)
+        if j is not None:
+            self._dense_x[j] = math.inf
+            self._dense_y[j] = math.inf
+        self._soa.pop(node_id, None)
+        self._candidates.pop(node_id, None)
+        self._cca_heard.pop(node_id, None)
+        affected = self._bump_neighborhood(node_id, [old_neighbors])
+        self._sender_epoch.pop(node_id, None)
+        self._drop_inter(node_id)
+        self._mark_inter_dirty(affected, node_id)
+        for a in affected:
+            self._evict_pair(self._pair_key(node_id, a))
+
+    def update_position(self, node_id: int, x: float, y: float) -> None:
+        """Move a node in O(k): re-bucket, re-derive means, mark stale.
+
+        Pair slots whose endpoints drifted out of spatial range are
+        evicted; everything else (shadowing, in-range OU/Gilbert state)
+        survives the move keyed by pair identity.
+        """
+        if not self._finalized:
+            super().update_position(node_id, x, y)
+            return
+        grid = self._grid
+        assert grid is not None
+        if node_id not in grid:
+            # A channel-only position (never attached): no batch depends
+            # on it, but its interference vectors re-derive.
+            self.channel.update_position(node_id, (x, y))
+            self._drop_inter(node_id)
+            return
+        if grid.same_cell(node_id, x, y):
+            # Mobility fast path: a sub-cell step means the same 3×3 block
+            # serves both the before and after neighbor filters — one scan
+            # instead of two (the node's own entry is excluded, so moving
+            # it first cannot perturb either list).
+            ox, oy = grid.position(node_id)
+            grid.move(node_id, x, y)
+            old_neighbors, new_neighbors = grid.neighbors_two_points(
+                ox, oy, x, y, exclude=node_id
+            )
+        else:
+            old_neighbors = grid.neighbors(node_id)
+            grid.move(node_id, x, y)
+            new_neighbors = grid.neighbors(node_id)
+        self.channel.update_position(node_id, (x, y))
+        j = self._dense_index.get(node_id)
+        if j is not None and node_id in self._receivers:
+            self._dense_x[j] = x
+            self._dense_y[j] = y
+        affected = self._bump_neighborhood(node_id, [old_neighbors, new_neighbors])
+        # The mover's own vectors change at every in-reach entry: a full
+        # (vectorized) rebuild at next use beats entry-wise patching.
+        self._drop_inter(node_id)
+        self._mark_inter_dirty(affected, node_id)
+        if old_neighbors:
+            still = dict.fromkeys(new_neighbors)
+            for a in old_neighbors:
+                if a not in still:
+                    self._evict_pair(self._pair_key(node_id, a))
+
+    def candidate_receivers(self, sender: int) -> List[Tuple[int, float]]:
+        """(receiver, mean gain dB) pairs reachable from ``sender``."""
+        if not self._finalized:
+            self.finalize()
+        self._ensure_batch(sender)
+        return self._candidates.get(sender, [])
+
+    # ------------------------------------------------------------------
     # Carrier sense (spatially culled, mean-field)
     # ------------------------------------------------------------------
     def channel_clear(self, node_id: int) -> bool:
@@ -361,12 +833,11 @@ class FastRadioMedium(RadioMedium):
             return True
         if not self._finalized:
             self.finalize()
-        heard = self._cca_heard
         for tx in active:
             if tx.sender == node_id:
                 continue
-            reach = heard.get(tx.sender)
-            if reach is not None and node_id in reach:
+            batch = self._ensure_batch(tx.sender)
+            if batch is not None and node_id in batch.cca_heard:
                 return False
         return True
 
@@ -385,12 +856,19 @@ class FastRadioMedium(RadioMedium):
         ``rid_dense`` index.  Entries beyond the interferer's spatial reach
         — and the interferer's own receiver slot — are exactly 0; ``None``
         means every receiver is out of reach.  Gains include the mean-field
-        fading corrections (see DESIGN.md §9).
+        fading corrections (see DESIGN.md §9).  The cache nests per
+        interferer so structural events invalidate one node's vectors in
+        O(1) (see the incremental-maintenance section).
         """
-        key = (oid, power_dbm)
-        cached = self._inter_cache.get(key, _MISSING)
-        if cached is not _MISSING:
-            return cached
+        dirty = self._inter_dirty.pop(oid, None)
+        if dirty and oid in self._inter_cache:
+            for rid in dirty:
+                self._patch_inter(oid, rid)
+        by_oid = self._inter_cache.get(oid)
+        if by_oid is not None:
+            cached = by_oid.get(power_dbm, _MISSING)
+            if cached is not _MISSING:
+                return cached
         opos = self.channel.positions.get(oid)
         out: Any = None
         if opos is not None and self._dense_ids:
@@ -400,30 +878,30 @@ class FastRadioMedium(RadioMedium):
             in_range = np.nonzero(dx * dx + dy * dy <= self._radius_m * self._radius_m)[0]
             if in_range.size:
                 dense_ids = self._dense_ids
-                mean_gain_db = self.channel.mean_gain_db
                 pair_slot = self._pair_slot
                 bimodal = self._g_bimodal
-                dense = np.zeros(len(dense_ids))
-                any_in = False
-                for j in in_range.tolist():
-                    rid = dense_ids[j]
-                    if rid == oid:
-                        continue
-                    extra = self._ou_mean_extra_db
-                    if bimodal is not None:
-                        slot = pair_slot.get((oid, rid) if oid <= rid else (rid, oid))
-                        if slot is None:
-                            extra += self._expected_bimodal_extra_db
-                        elif bimodal[slot]:
-                            extra += self._bimodal_mean_extra_db
-                    dense[j] = 10.0 ** (
-                        (power_dbm + mean_gain_db(oid, rid) + extra) / 10.0
-                    )
-                    any_in = True
-                if any_in:
+                js = [j for j in in_range.tolist() if dense_ids[j] != oid]
+                if js:
+                    rids = [dense_ids[j] for j in js]
+                    gains = self.channel.mean_gain_many(oid, rids)
+                    dense = np.zeros(len(dense_ids))
+                    for j, rid, gain in zip(js, rids, gains):
+                        extra = self._ou_mean_extra_db
+                        if bimodal is not None:
+                            slot = pair_slot.get(
+                                (oid, rid) if oid <= rid else (rid, oid)
+                            )
+                            if slot is None:
+                                extra += self._expected_bimodal_extra_db
+                            elif bimodal[slot]:
+                                extra += self._bimodal_mean_extra_db
+                        dense[j] = 10.0 ** ((power_dbm + gain + extra) / 10.0)
                     out = dense
-        if len(self._inter_cache) < _INTER_CACHE_MAX:
-            self._inter_cache[key] = out
+        if self._inter_cache_entries < _INTER_CACHE_MAX:
+            if by_oid is None:
+                by_oid = self._inter_cache[oid] = {}
+            by_oid[power_dbm] = out
+            self._inter_cache_entries += 1
         return out
 
     # ------------------------------------------------------------------
@@ -443,7 +921,9 @@ class FastRadioMedium(RadioMedium):
         if not self._finalized:
             self.finalize()
         sender_id = tx.sender
-        batch = self._soa.get(sender_id)
+        if sender_id not in self._participants:
+            return  # sender detached (crashed) mid-flight: the frame dies with it
+        batch = self._ensure_batch(sender_id)
         if batch is None or batch.n == 0:
             return  # zero-candidate sender: nothing in link-budget reach
         overlapping = self._overlapping(tx)

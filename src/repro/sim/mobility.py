@@ -1,0 +1,246 @@
+"""Deterministic random-waypoint mobility driver.
+
+City-scale scenarios (ROADMAP: 1k–10k nodes) need the network to *move*:
+nodes walk or drive between waypoints while the collection protocol keeps
+routing.  :class:`WaypointMobility` implements the standard random-waypoint
+model on top of the medium's incremental position API (DESIGN.md §11):
+
+* Each mobile node repeatedly draws a waypoint uniformly inside the
+  deployment's bounding box and a speed uniform in
+  ``[speed_min_mps, speed_max_mps]``, walks there in straight-line steps,
+  pauses, and draws again.
+* Positions advance on a single **global tick** every
+  ``update_period_s`` of simulated time — one engine event per period
+  regardless of node count, so 10k mobile nodes cost 10k position patches
+  per tick, not 10k timer events.  Every patch goes through
+  ``medium.update_position()``: O(k) on the fast backend, a lazy rebuild
+  on the exact one (same trajectories either way).
+* Every draw comes from ``("mobility", ...)`` named RNG streams and
+  mobile nodes are visited in sorted-id order, so trajectories are a pure
+  function of the master seed and never perturb any other subsystem's
+  randomness.  Mobility-off runs construct none of this machinery and
+  stay bit-identical.
+
+Sinks (roots) never move: the paper's collection experiments anchor the
+tree at fixed basestations, and a walking sink would conflate routing
+dynamics with workload dynamics.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.sim.engine import Engine
+from repro.sim.rng import RngManager
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class MobilityConfig:
+    """Random-waypoint parameters for one run.
+
+    Frozen and built from plain floats so it hashes into the runner's
+    config digest (`repro.runner.hashing.canonical_bytes`) and round-trips
+    through JSON scenario files.
+    """
+
+    #: Uniform speed range each leg draws from.
+    speed_min_mps: float = 0.5
+    speed_max_mps: float = 1.5
+    #: Mean pause at a waypoint (actual pause uniform in [0, 2·mean]).
+    pause_mean_s: float = 30.0
+    #: Simulated seconds between global position ticks.
+    update_period_s: float = 1.0
+    #: Fraction of non-root nodes that move (roster drawn deterministically
+    #: from the ("mobility", "roster") stream).
+    fraction_mobile: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed_min_mps <= 0 or self.speed_max_mps < self.speed_min_mps:
+            raise ValueError(
+                f"speed range must satisfy 0 < min <= max: "
+                f"[{self.speed_min_mps}, {self.speed_max_mps}]"
+            )
+        if self.pause_mean_s < 0:
+            raise ValueError(f"pause_mean_s must be >= 0: {self.pause_mean_s}")
+        if self.update_period_s <= 0:
+            raise ValueError(f"update_period_s must be positive: {self.update_period_s}")
+        if not 0.0 < self.fraction_mobile <= 1.0:
+            raise ValueError(
+                f"fraction_mobile must be in (0, 1]: {self.fraction_mobile}"
+            )
+
+    # ---- JSON round-trip (scenario files, runner --mobility FILE) ------
+    def to_json_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, float]) -> "MobilityConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = [k for k in data if k not in known]
+        if unknown:
+            raise ValueError(f"unknown mobility config keys: {unknown}")
+        return cls(**data)
+
+    @classmethod
+    def from_json_file(cls, path: Union[str, Path]) -> "MobilityConfig":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json_dict(json.load(fh))
+
+
+#: Named presets the CLI's ``--mobility`` flag accepts.
+MOBILITY_PRESETS: Dict[str, MobilityConfig] = {
+    #: Walking-speed churn: slow topology drift, links age over minutes.
+    "pedestrian": MobilityConfig(
+        speed_min_mps=0.5, speed_max_mps=1.5, pause_mean_s=30.0
+    ),
+    #: Vehicle-speed churn: neighborhoods turn over in seconds.
+    "vehicular": MobilityConfig(
+        speed_min_mps=5.0, speed_max_mps=15.0, pause_mean_s=5.0
+    ),
+}
+
+
+def resolve_mobility(value: Union[str, MobilityConfig]) -> MobilityConfig:
+    """Resolve a ``SimConfig.mobility`` value: preset name, JSON path or
+    an already-built :class:`MobilityConfig`."""
+    if isinstance(value, MobilityConfig):
+        return value
+    if value in MOBILITY_PRESETS:
+        return MOBILITY_PRESETS[value]
+    path = Path(value)
+    if path.exists():
+        return MobilityConfig.from_json_file(path)
+    raise ValueError(
+        f"unknown mobility preset {value!r} (and no such file); "
+        f"presets: {sorted(MOBILITY_PRESETS)}"
+    )
+
+
+class _NodeMotion:
+    """Per-node leg state: where it is, where it walks, how fast."""
+
+    __slots__ = ("x", "y", "target_x", "target_y", "speed_mps", "pause_until")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = x
+        self.y = y
+        self.target_x = x
+        self.target_y = y
+        self.speed_mps = 0.0
+        #: Simulated time the current pause ends; the node draws its first
+        #: real waypoint at its first tick (pause_until starts at 0).
+        self.pause_until = 0.0
+
+
+class WaypointMobility:
+    """Drives random-waypoint motion through ``medium.update_position``."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        medium: object,
+        rng: RngManager,
+        node_ids: Sequence[int],
+        roots: Sequence[int],
+        config: MobilityConfig,
+        duration_s: float,
+    ) -> None:
+        self.engine = engine
+        self.medium = medium
+        self.config = config
+        self.duration_s = duration_s
+        # Plain counters (surfaced on CollectionResult via the network).
+        self.position_updates = 0
+        self.waypoints_drawn = 0
+        positions = medium.channel.positions  # type: ignore[attr-defined]
+        root_set = dict.fromkeys(roots)
+        candidates = [nid for nid in sorted(node_ids) if nid not in root_set]
+        if config.fraction_mobile < 1.0:
+            roster_stream = rng.stream("mobility", "roster")
+            candidates = [
+                nid
+                for nid in candidates
+                if roster_stream.random() < config.fraction_mobile
+            ]
+        #: Mobile node ids in sorted order — the per-tick visit order, so
+        #: trajectories are independent of dict insertion history.
+        self.mobile_ids: List[int] = candidates
+        # Deployment bounding box: waypoints stay inside the initial
+        # footprint (interferers and sinks excluded from the box on
+        # purpose — nodes roam where nodes were placed).
+        xs = [positions[nid][0] for nid in node_ids]
+        ys = [positions[nid][1] for nid in node_ids]
+        self._min_x, self._max_x = (min(xs), max(xs)) if xs else (0.0, 0.0)
+        self._min_y, self._max_y = (min(ys), max(ys)) if ys else (0.0, 0.0)
+        self._motion: Dict[int, _NodeMotion] = {
+            nid: _NodeMotion(*positions[nid]) for nid in self.mobile_ids
+        }
+        self._streams = {
+            nid: rng.stream("mobility", nid) for nid in self.mobile_ids
+        }
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first global tick (idempotent)."""
+        if self._started or not self.mobile_ids:
+            return
+        self._started = True
+        self.engine.schedule(self.config.update_period_s, self._tick)
+
+    def _tick(self) -> None:
+        now = self.engine.now
+        dt = self.config.update_period_s
+        config = self.config
+        update_position = self.medium.update_position  # type: ignore[attr-defined]
+        for nid in self.mobile_ids:
+            motion = self._motion[nid]
+            if now < motion.pause_until:
+                continue
+            if motion.speed_mps <= 0.0:
+                # Pause over: draw the next leg and start walking on this
+                # same tick (waiting a tick would silently halve motion in
+                # short windows).
+                self._draw_leg(nid, motion, now)
+            dx = motion.target_x - motion.x
+            dy = motion.target_y - motion.y
+            dist = math.hypot(dx, dy)
+            step = motion.speed_mps * dt
+            if dist <= step:
+                # Arrived: land exactly on the waypoint, then pause.
+                motion.x = motion.target_x
+                motion.y = motion.target_y
+                motion.speed_mps = 0.0
+                pause = self._streams[nid].uniform(0.0, 2.0 * config.pause_mean_s)
+                motion.pause_until = now + pause
+            else:
+                motion.x += dx / dist * step
+                motion.y += dy / dist * step
+            update_position(nid, motion.x, motion.y)
+            self.position_updates += 1
+        if now + dt <= self.duration_s:
+            self.engine.schedule(dt, self._tick)
+
+    def _draw_leg(self, nid: int, motion: _NodeMotion, now: float) -> None:
+        """Draw the next waypoint + speed from the node's own stream."""
+        stream = self._streams[nid]
+        motion.target_x = stream.uniform(self._min_x, self._max_x)
+        motion.target_y = stream.uniform(self._min_y, self._max_y)
+        motion.speed_mps = stream.uniform(
+            self.config.speed_min_mps, self.config.speed_max_mps
+        )
+        self.waypoints_drawn += 1
+
+
+__all__ = [
+    "MobilityConfig",
+    "MOBILITY_PRESETS",
+    "WaypointMobility",
+    "resolve_mobility",
+]

@@ -110,6 +110,102 @@ def random_uniform(
     return Topology(name=name, positions=positions, sink=0)
 
 
+def city_grid(
+    n: int,
+    blocks: int,
+    block_m: float = 200.0,
+    rng: Optional[Random] = None,
+    street_jitter_m: float = 3.0,
+    name: str = "city_grid",
+) -> Topology:
+    """``n`` nodes along the streets of a ``blocks × blocks`` city grid.
+
+    The deployment models street-level metering/sensing at city scale
+    (the ROADMAP's 1k–10k node target): nodes sit on the street segments
+    of a Manhattan grid — uniformly spread over all horizontal and
+    vertical streets in deterministic round-robin order, with a small
+    lateral jitter (curb-to-curb placement) when ``rng`` is given.  The
+    sink is the intersection nearest the center.  Scales to 10k nodes in
+    O(n) construction.
+    """
+    if n <= 1:
+        raise ValueError("need at least 2 nodes")
+    if blocks <= 0:
+        raise ValueError("blocks must be positive")
+    side_m = blocks * block_m
+    # Streets: (blocks+1) horizontal + (blocks+1) vertical lines.
+    streets: List[Tuple[bool, float]] = []
+    for i in range(blocks + 1):
+        streets.append((True, i * block_m))  # horizontal at y = i·block
+        streets.append((False, i * block_m))  # vertical at x = i·block
+    positions: Dict[int, Position] = {}
+    n_streets = len(streets)
+    per_street = n / n_streets
+    nid = 0
+    for s, (horizontal, offset) in enumerate(streets):
+        # Round-robin the remainder so every count n is covered exactly.
+        count = int(per_street * (s + 1)) - int(per_street * s)
+        for k in range(count):
+            along = side_m * (k + 0.5) / max(count, 1)
+            lateral = offset
+            if rng is not None and street_jitter_m > 0.0:
+                lateral += rng.uniform(-street_jitter_m, street_jitter_m)
+            positions[nid] = (along, lateral) if horizontal else (lateral, along)
+            nid += 1
+    # Sink: the node nearest the central intersection (deterministic
+    # tie-break by id via min() scanning ascending ids).
+    center = (side_m / 2.0, side_m / 2.0)
+    sink_id = min(
+        positions,
+        key=lambda i: (
+            math.hypot(positions[i][0] - center[0], positions[i][1] - center[1]),
+            i,
+        ),
+    )
+    return Topology(name=name, positions=positions, sink=sink_id)
+
+
+def clustered(
+    n: int,
+    k_clusters: int,
+    rng: Random,
+    spread_m: float = 40.0,
+    area_m: float = 1000.0,
+    name: str = "clustered",
+) -> Topology:
+    """``n`` nodes in ``k_clusters`` Gaussian clusters over a square area.
+
+    Models campus/neighborhood deployments: dense pockets with sparse
+    inter-cluster links.  Cluster centers are uniform in the area; nodes
+    are assigned round-robin and scattered with a Gaussian of sigma
+    ``spread_m``, clamped to the area.  The sink is the node nearest the
+    area's center.
+    """
+    if n <= 1:
+        raise ValueError("need at least 2 nodes")
+    if k_clusters <= 0:
+        raise ValueError("k_clusters must be positive")
+    centers = [
+        (rng.uniform(0.0, area_m), rng.uniform(0.0, area_m))
+        for _ in range(k_clusters)
+    ]
+    positions: Dict[int, Position] = {}
+    for nid in range(n):
+        cx, cy = centers[nid % k_clusters]
+        x = min(max(cx + rng.gauss(0.0, spread_m), 0.0), area_m)
+        y = min(max(cy + rng.gauss(0.0, spread_m), 0.0), area_m)
+        positions[nid] = (x, y)
+    center = (area_m / 2.0, area_m / 2.0)
+    sink_id = min(
+        positions,
+        key=lambda i: (
+            math.hypot(positions[i][0] - center[0], positions[i][1] - center[1]),
+            i,
+        ),
+    )
+    return Topology(name=name, positions=positions, sink=sink_id)
+
+
 def line(n: int, spacing_m: float, name: str = "line") -> Topology:
     """A 1-D chain — the classic multihop stress topology."""
     if n <= 1:

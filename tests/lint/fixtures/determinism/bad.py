@@ -60,3 +60,14 @@ def np_reseed():
 
 def np_unseeded():
     return np.random.default_rng()
+
+
+def mobility_tick(mobile_ids, rng):
+    # Set iteration decides the position-update visit order — trajectories
+    # would depend on hash seeding instead of node ids.
+    for nid in set(mobile_ids):
+        rng.uniform(0.0, 300.0)
+
+
+def waypoint():
+    return random.uniform(0.0, 300.0)

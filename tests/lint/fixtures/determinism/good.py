@@ -32,3 +32,14 @@ def np_stream(seed: int) -> Generator:
 
 def np_default_seeded(seed: int):
     return np.random.default_rng(seed)
+
+
+def mobility_streams(rng_manager, mobile_ids):
+    # Sanctioned mobility pattern: one named stream per node, roster
+    # deduplicated order-preservingly and visited in sorted-id order.
+    roster = dict.fromkeys(mobile_ids)
+    return {nid: rng_manager.stream("mobility", nid) for nid in sorted(roster)}
+
+
+def draw_leg(stream, min_x: float, max_x: float) -> float:
+    return stream.uniform(min_x, max_x)

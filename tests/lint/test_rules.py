@@ -50,7 +50,7 @@ def test_default_rules_select_ignore():
 def test_determinism_bad():
     findings = run_rule("determinism", FIXTURES / "determinism" / "bad.py")
     messages = "\n".join(f.message for f in findings)
-    assert len(findings) == 14
+    assert len(findings) == 16
     assert "random.random()" in messages
     assert "random.shuffle()" in messages
     assert "`time.time()` reads the wall clock" in messages
@@ -58,7 +58,9 @@ def test_determinism_bad():
     assert "`os.urandom()` draws OS entropy" in messages
     assert "`uuid.uuid4()` draws OS entropy" in messages
     assert "from random import randint" in messages
-    assert messages.count("iteration over a set") == 3
+    # Three original set-iteration sites plus the mobility visit-order one.
+    assert messages.count("iteration over a set") == 4
+    assert "random.uniform()" in messages
     assert "global numpy RNG `np.random.normal()`" in messages
     assert "global numpy RNG `np.random.seed()`" in messages
     assert "`default_rng()` without a seed draws OS entropy" in messages

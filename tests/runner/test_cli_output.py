@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.runner.__main__ import main
 
 ARGS = [
@@ -51,3 +53,19 @@ def test_json_file_keeps_stdout_clean(tmp_path, capsys):
     assert captured.out == ""
     payload = json.loads(out_path.read_text())
     assert payload["cells"]
+
+
+def test_mobility_flag_runs_and_rejects_unknown(tmp_path, capsys):
+    assert main(ARGS + ["--quiet", "--mobility", "pedestrian", "--medium", "fast"]) == 0
+    capsys.readouterr()
+    # A MobilityConfig JSON file works too (content, not path, is digested).
+    config = tmp_path / "mob.json"
+    config.write_text(
+        '{"speed_min_mps": 1.0, "speed_max_mps": 2.0, "pause_mean_s": 5.0,'
+        ' "update_period_s": 2.0, "fraction_mobile": 0.5}'
+    )
+    assert main(ARGS + ["--quiet", "--mobility", str(config), "--medium", "fast"]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(ARGS + ["--mobility", "warp-drive"])
+    assert "--mobility" in capsys.readouterr().err

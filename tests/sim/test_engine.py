@@ -231,3 +231,16 @@ def test_interleaved_cancel_and_run(engine):
     engine.run()
     assert fired == keep
     assert engine.pending == 0
+
+
+def test_compaction_counter_and_profiler_surface(engine):
+    profiler = engine.enable_profiling()
+    assert engine.compactions == 0
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(200)]
+    for h in handles[:150]:
+        h.cancel()
+    assert engine.compactions >= 1
+    assert profiler.compactions == engine.compactions
+    assert profiler.kernel_counts["engine.compact"] == engine.compactions
+    summary = profiler.summary()
+    assert summary["compactions"] == engine.compactions

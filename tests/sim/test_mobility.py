@@ -1,0 +1,162 @@
+"""Waypoint mobility: config plumbing, determinism, backend equivalence."""
+
+import json
+
+import pytest
+
+from repro.sim.mobility import (
+    MOBILITY_PRESETS,
+    MobilityConfig,
+    resolve_mobility,
+)
+from repro.sim.network import CollectionNetwork, SimConfig
+from repro.sim.rng import RngManager
+from repro.topology.generators import grid
+
+
+def _mobile_network(medium="fast", seed=3, mobility="pedestrian", **overrides):
+    topo = grid(4, 4, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=0.5)
+    config = SimConfig(
+        protocol="4b",
+        seed=seed,
+        duration_s=180.0,
+        warmup_s=60.0,
+        medium=medium,
+        mobility=mobility,
+        **overrides,
+    )
+    return CollectionNetwork(topo, config)
+
+
+# ----------------------------------------------------------------------
+# MobilityConfig (unit)
+# ----------------------------------------------------------------------
+def test_config_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        MobilityConfig(speed_min_mps=0.0)
+    with pytest.raises(ValueError):
+        MobilityConfig(speed_min_mps=2.0, speed_max_mps=1.0)
+    with pytest.raises(ValueError):
+        MobilityConfig(pause_mean_s=-1.0)
+    with pytest.raises(ValueError):
+        MobilityConfig(update_period_s=0.0)
+    with pytest.raises(ValueError):
+        MobilityConfig(fraction_mobile=0.0)
+    with pytest.raises(ValueError):
+        MobilityConfig(fraction_mobile=1.5)
+
+
+def test_config_json_roundtrip(tmp_path):
+    config = MobilityConfig(
+        speed_min_mps=1.0,
+        speed_max_mps=4.0,
+        pause_mean_s=10.0,
+        update_period_s=2.0,
+        fraction_mobile=0.25,
+    )
+    assert MobilityConfig.from_json_dict(config.to_json_dict()) == config
+    path = tmp_path / "mob.json"
+    path.write_text(json.dumps(config.to_json_dict()))
+    assert MobilityConfig.from_json_file(path) == config
+    with pytest.raises(ValueError, match="unknown mobility config keys"):
+        MobilityConfig.from_json_dict({"speed_min_mps": 1.0, "warp_factor": 9.0})
+
+
+def test_resolve_mobility_sources(tmp_path):
+    assert resolve_mobility("pedestrian") is MOBILITY_PRESETS["pedestrian"]
+    config = MobilityConfig(speed_min_mps=2.0, speed_max_mps=3.0)
+    assert resolve_mobility(config) is config
+    path = tmp_path / "custom.json"
+    path.write_text(json.dumps(config.to_json_dict()))
+    assert resolve_mobility(str(path)) == config
+    with pytest.raises(ValueError, match="unknown mobility preset"):
+        resolve_mobility("teleporting")
+
+
+def test_simconfig_rejects_non_mobility_object():
+    with pytest.raises(ValueError, match="mobility must be"):
+        SimConfig(mobility=42)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Driver behavior (integration)
+# ----------------------------------------------------------------------
+def test_roots_never_move_and_mobiles_do():
+    net = _mobile_network()
+    sink_pos = net.channel.positions[net.topology.sink]
+    start = {nid: net.channel.positions[nid] for nid in net.topology.node_ids()}
+    net.run()
+    assert net.mobility is not None
+    assert net.mobility.position_updates > 0
+    assert net.mobility.waypoints_drawn > 0
+    assert net.channel.positions[net.topology.sink] == sink_pos
+    assert net.topology.sink not in net.mobility.mobile_ids
+    moved = [
+        nid
+        for nid in net.mobility.mobile_ids
+        if net.channel.positions[nid] != start[nid]
+    ]
+    assert moved, "pedestrian run should displace at least one mobile node"
+
+
+def test_fraction_mobile_limits_roster():
+    full = _mobile_network(mobility=MobilityConfig(fraction_mobile=1.0))
+    partial = _mobile_network(mobility=MobilityConfig(fraction_mobile=0.3))
+    assert full.mobility is not None and partial.mobility is not None
+    assert len(full.mobility.mobile_ids) == len(full.topology.node_ids()) - 1
+    assert 0 < len(partial.mobility.mobile_ids) < len(full.mobility.mobile_ids)
+    assert set(partial.mobility.mobile_ids) <= set(full.mobility.mobile_ids)
+
+
+def test_mobile_runs_are_deterministic():
+    first = _mobile_network(seed=11)
+    second = _mobile_network(seed=11)
+    r1, r2 = first.run(), second.run()
+    assert r1 == r2
+    assert first.mobility is not None and second.mobility is not None
+    assert first.mobility.position_updates == second.mobility.position_updates
+    assert first.mobility.waypoints_drawn == second.mobility.waypoints_drawn
+    assert {
+        nid: first.channel.positions[nid] for nid in first.mobility.mobile_ids
+    } == {nid: second.channel.positions[nid] for nid in second.mobility.mobile_ids}
+
+
+def test_fast_vs_exact_equivalent_under_mobility():
+    """Distribution equivalence on a mobile workload (DESIGN.md §9/§11).
+
+    Bimodal fading must be off for this comparison: the exact backend
+    remembers a pair's Gilbert-state membership forever, while the fast
+    backend re-draws it when a pair leaves range and comes back — same
+    marginal distribution, different pair identities, so only the
+    bimodal-free channel admits a tight aggregate comparison.
+    """
+    topo = grid(4, 4, spacing_m=6.0, rng=RngManager(7).stream("t"), jitter_m=0.5)
+    results = {}
+    for backend in ("exact", "fast"):
+        config = SimConfig(
+            protocol="4b",
+            seed=5,
+            duration_s=180.0,
+            warmup_s=60.0,
+            medium=backend,
+            mobility="pedestrian",
+        )
+        net = CollectionNetwork(topo, config, channel_overrides={"bimodal_fraction": 0.0})
+        results[backend] = net.run()
+    exact, fast = results["exact"], results["fast"]
+    assert exact.accepted == fast.accepted  # offered load is backend-blind
+    assert exact.unique_delivered > 0 and fast.unique_delivered > 0
+    assert abs(exact.delivery_ratio - fast.delivery_ratio) <= 0.15
+    assert abs(exact.avg_tree_depth - fast.avg_tree_depth) <= 1.5
+
+
+@pytest.mark.parametrize("backend", ["exact", "fast"])
+def test_mobility_with_reboot_storm_keeps_invariants(backend):
+    """Crash/reboot churn layered on motion: the invariant checker must
+    stay green on both backends (membership + position changes compose)."""
+    net = _mobile_network(
+        medium=backend, faults="reboot_storm", check_invariants=True
+    )
+    result = net.run()
+    assert net.invariant_checker is not None
+    assert result.accepted > 0
