@@ -26,14 +26,18 @@ from repro.sim.rng import RngManager
 from repro.topology.generators import city_grid, grid
 from repro.topology.testbeds import PROFILES, scaled_profile
 
-SCENARIOS: Dict[str, Callable[[bool], BenchResult]] = {}
+# Import-time decorator registry: the only runtime write is @scenario at
+# module import, and scenario functions are stateless.
+SCENARIOS: Dict[str, Callable[[bool], BenchResult]] = {}  # lint: disable=worker-state
 
 #: Extra SimConfig overrides merged into every macro scenario that builds a
 #: :class:`CollectionNetwork` — the bench CLI routes ``--live-telemetry``
 #: through here.  Empty by default, so pinned scenarios stay pinned; any
 #: override that adds engine events (telemetry does) shifts the ``check``
 #: counters, which ``--compare`` flags as a behavior change by design.
-EXTRA_SIM_OVERRIDES: Dict[str, object] = {}
+# Process-wide by design: the bench CLI sets it once before any scenario
+# runs and never between runs, and bench workers re-set it per process.
+EXTRA_SIM_OVERRIDES: Dict[str, object] = {}  # lint: disable=worker-state
 
 
 def _sim_config(**kwargs: object) -> SimConfig:

@@ -13,6 +13,11 @@ tests can only spot-check:
 * **Stats/obs bridge** — every layer stats dataclass bridges all of its
   counters into the :mod:`repro.obs` metrics registry.
 
+A second, whole-program tier (:mod:`repro.lint.project`) checks contracts
+no single file shows: RNG-stream provenance (R001), cache-schema drift
+against the committed ``cache-schema.lock.json`` (C001), fast/exact
+backend parity (P001), and worker-state safety (W001).
+
 ``python -m repro.lint`` checks these (plus Python hygiene) over the AST,
 with per-rule enable/disable, inline ``# lint: disable=...`` suppressions,
 and a committed baseline so legacy findings never block CI.
@@ -20,16 +25,32 @@ and a committed baseline so legacy findings never block CI.
 
 from repro.lint.baseline import Baseline, load_baseline, write_baseline
 from repro.lint.core import Finding, LintContext, ModuleInfo, Rule, lint_paths
+from repro.lint.fix import fix_unused_imports
+from repro.lint.project import (
+    FileFacts,
+    IndexCache,
+    ProjectIndex,
+    ProjectRule,
+    build_index,
+    extract_facts,
+)
 from repro.lint.rules import RULES, default_rules, rules_by_name
 
 __all__ = [
     "Baseline",
+    "FileFacts",
     "Finding",
+    "IndexCache",
     "LintContext",
     "ModuleInfo",
+    "ProjectIndex",
+    "ProjectRule",
     "RULES",
     "Rule",
+    "build_index",
     "default_rules",
+    "extract_facts",
+    "fix_unused_imports",
     "lint_paths",
     "load_baseline",
     "rules_by_name",

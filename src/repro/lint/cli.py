@@ -7,7 +7,9 @@ Examples::
     python -m repro.lint --select determinism,layering
     python -m repro.lint --ignore unused-import
     python -m repro.lint --json                # machine-readable output
+    python -m repro.lint --fix                 # delete unused imports, re-lint
     python -m repro.lint --write-baseline      # accept current findings
+    python -m repro.lint --write-schema-lock   # regenerate cache-schema.lock.json
     python -m repro.lint --list-rules
 
 Exit status: 0 when every finding is baselined (or none exist), 1 when new
@@ -23,10 +25,14 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.lint.baseline import Baseline, load_baseline, write_baseline
-from repro.lint.core import find_repo_root, lint_paths
+from repro.lint.core import find_repo_root, iter_python_files, lint_paths
+from repro.lint.fix import fix_unused_imports
 from repro.lint.rules import RULES, default_rules
 
 DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Default per-file facts cache for the project pass (under the repo root).
+DEFAULT_INDEX_CACHE = Path(".repro-cache") / "lint-index.json"
 
 
 def _split_csv(value: Optional[str]) -> Optional[List[str]]:
@@ -38,7 +44,9 @@ def _split_csv(value: Optional[str]) -> Optional[List[str]]:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST-based determinism / layering / units / obs-bridge linter",
+        description="AST-based determinism / layering / units / obs-bridge linter "
+        "with a whole-program pass (RNG provenance, cache-schema drift, "
+        "backend parity, worker state)",
     )
     parser.add_argument(
         "paths",
@@ -69,6 +77,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write current findings to the baseline file and exit 0",
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="delete unused imports (H003) in place, then lint the result",
+    )
+    parser.add_argument(
+        "--write-schema-lock",
+        action="store_true",
+        help="regenerate cache-schema.lock.json from the current tree and exit",
+    )
+    parser.add_argument(
+        "--index-cache",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="per-file facts cache for the project pass "
+        f"(default: <repo>/{DEFAULT_INDEX_CACHE.as_posix()})",
+    )
+    parser.add_argument(
+        "--no-index-cache",
+        action="store_true",
+        help="extract facts fresh; neither read nor write the cache",
+    )
     parser.add_argument("--list-rules", action="store_true", help="list rules and exit")
     return parser
 
@@ -97,11 +128,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if missing:
         parser.error(f"no such path(s): {', '.join(map(str, missing))}")
 
+    index_cache: Optional[Path] = None
+    if not args.no_index_cache:
+        if args.index_cache is not None:
+            index_cache = args.index_cache
+        elif repo_root is not None:
+            index_cache = repo_root / DEFAULT_INDEX_CACHE
+
+    if args.write_schema_lock:
+        return _write_schema_lock(parser, paths, repo_root, index_cache)
+
+    fixed_files = 0
+    if args.fix:
+        for path in iter_python_files(paths):
+            try:
+                if fix_unused_imports(path, repo_root):
+                    fixed_files += 1
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                print(f"error: {path}: {exc}", file=sys.stderr)
+                return 2
+
     baseline_path = args.baseline
     if baseline_path is None and repo_root is not None:
         baseline_path = repo_root / DEFAULT_BASELINE
 
-    ctx = lint_paths(paths, rules, repo_root)
+    ctx = lint_paths(paths, rules, repo_root, index_cache=index_cache)
     if ctx.errors:
         for error in ctx.errors:
             print(f"error: {error}", file=sys.stderr)
@@ -127,6 +178,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "findings": [f.to_json() for f in new],
             "baselined": [f.to_json() for f in baselined],
             "inline_suppressed": ctx.inline_suppressed,
+            "fixed_files": fixed_files,
+            "index_cache": {
+                "hits": ctx.index_cache_hits,
+                "misses": ctx.index_cache_misses,
+            },
             "exit_status": 1 if new else 0,
         }
         print(json.dumps(payload, indent=2))
@@ -137,5 +193,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{ctx.checked_files} file(s) checked, {len(new)} new finding(s), "
             f"{len(baselined)} baselined, {ctx.inline_suppressed} inline-suppressed"
         )
+        if args.fix:
+            summary += f", {fixed_files} file(s) fixed"
         print(summary if not new else f"\n{summary}")
     return 1 if new else 0
+
+
+def _write_schema_lock(
+    parser: argparse.ArgumentParser,
+    paths: Sequence[Path],
+    repo_root: Optional[Path],
+    index_cache: Optional[Path],
+) -> int:
+    from repro.lint.core import load_module
+    from repro.lint.project import IndexCache, ProjectIndex
+    from repro.lint.rules.cache_schema import write_schema_lock
+
+    if repo_root is None:
+        parser.error("--write-schema-lock needs a repo root (pyproject.toml)")
+    modules = []
+    for path in iter_python_files(paths):
+        try:
+            modules.append(load_module(path, repo_root))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+    cache = IndexCache(index_cache)
+    facts = [cache.facts_for(m) for m in modules]
+    cache.save()
+    index = ProjectIndex.build(facts, repo_root)
+    lock = write_schema_lock(index, repo_root)
+    if lock is None:
+        print(
+            "error: schema roots (SimConfig / CollectionResult) or "
+            "CACHE_SCHEMA_VERSION not found under the linted paths",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"wrote {lock}")
+    return 0

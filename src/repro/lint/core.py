@@ -182,29 +182,71 @@ class LintContext:
     inline_suppressed: int = 0
     checked_files: int = 0
     errors: List[str] = field(default_factory=list)  #: unparsable files
+    #: Facts-cache accounting for the project pass (0/0 when it did not run).
+    index_cache_hits: int = 0
+    index_cache_misses: int = 0
 
 
 def lint_paths(
     paths: Sequence[Path],
     rules: Sequence[Rule],
     repo_root: Optional[Path] = None,
+    index_cache: Optional[Path] = None,
 ) -> LintContext:
-    """Run ``rules`` over every Python file under ``paths``."""
+    """Run ``rules`` over every Python file under ``paths``.
+
+    File rules run per module; project rules (subclasses of
+    :class:`repro.lint.project.ProjectRule`) run once afterwards against a
+    whole-program index built from the same parsed modules.  When
+    ``index_cache`` names a file, per-module facts are reused from it
+    keyed on content digest (see :class:`repro.lint.project.IndexCache`).
+    """
+    # Local import: project.py imports this module for the rule protocol.
+    from repro.lint.project import IndexCache, ProjectIndex, ProjectRule
+
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
     ctx = LintContext()
+    modules: List[ModuleInfo] = []
+    by_path: Dict[str, ModuleInfo] = {}
     for path in iter_python_files(paths):
         try:
             module = load_module(path, repo_root)
-        except (SyntaxError, UnicodeDecodeError) as exc:  # pragma: no cover - defensive
+        except (SyntaxError, UnicodeDecodeError) as exc:
             ctx.errors.append(f"{path}: {exc}")
             continue
         ctx.checked_files += 1
-        for rule in rules:
+        if project_rules:
+            modules.append(module)
+            by_path[module.path] = module
+        for rule in file_rules:
             for finding in rule.check(module):
                 disabled = suppressed_rules(module, finding.line)
                 if disabled is not None and (not disabled or rule.name in disabled or rule.id in disabled):
                     ctx.inline_suppressed += 1
                     continue
                 ctx.findings.append(finding)
+
+    if project_rules and not ctx.errors:
+        cache = IndexCache(index_cache)
+        facts = [cache.facts_for(m) for m in modules]
+        cache.save()
+        ctx.index_cache_hits = cache.stats.hits
+        ctx.index_cache_misses = cache.stats.misses
+        index = ProjectIndex.build(facts, repo_root)
+        for rule in project_rules:
+            for finding in rule.check_project(index):
+                module_info = by_path.get(finding.path)
+                if module_info is not None:
+                    disabled = suppressed_rules(module_info, finding.line)
+                    if disabled is not None and (
+                        not disabled or rule.name in disabled or rule.id in disabled
+                    ):
+                        ctx.inline_suppressed += 1
+                        continue
+                ctx.findings.append(finding)
+
     ctx.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return ctx
 

@@ -1,0 +1,107 @@
+"""``--fix``: mechanical autofixes for findings with exactly one remedy.
+
+Only H003 (unused imports) is fixable today — the other rules flag design
+decisions a human must make, but an unused import has a single correct
+edit: delete the binding.  The fixer reuses
+:meth:`~repro.lint.rules.hygiene.UnusedImportRule.unused_bindings` so it
+can never disagree with the rule about what is removable, respects inline
+``# lint: disable`` suppressions on the import line, and is idempotent
+(a second pass finds nothing to do).
+
+Edits are line-based and conservative:
+
+* a statement whose every alias is unused is deleted whole
+  (``lineno..end_lineno``, so parenthesized multi-line ``from`` imports
+  go too);
+* a ``from X import a, b`` with only some aliases unused is rewritten in
+  place as a single line keeping the survivors in source order;
+* a multi-alias ``import a, b`` is rewritten the same way.
+
+Files are re-parsed and re-fixed until a pass removes nothing, because
+deleting one import can orphan another only in pathological cases — but
+re-checking is cheap and makes idempotence a loop invariant instead of an
+argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.core import ModuleInfo, load_module, suppressed_rules
+from repro.lint.rules.hygiene import UnusedImportRule
+
+#: Safety valve: a file needing more passes than this is left alone.
+_MAX_PASSES = 10
+
+
+def _render_import(node: ast.stmt, keep: List[ast.alias], indent: str) -> str:
+    """One-line replacement for an import statement keeping ``keep``."""
+    parts = [
+        a.name if a.asname is None else f"{a.name} as {a.asname}" for a in keep
+    ]
+    if isinstance(node, ast.ImportFrom):
+        source = "." * node.level + (node.module or "")
+        return f"{indent}from {source} import {', '.join(parts)}"
+    return f"{indent}import {', '.join(parts)}"
+
+
+def _one_pass(module: ModuleInfo) -> Optional[List[str]]:
+    """New source lines with this pass's removable imports gone, or ``None``
+    when nothing changed."""
+    removable = [
+        (node, alias)
+        for node, alias in UnusedImportRule.unused_bindings(module)
+        if not _suppressed(module, node)
+    ]
+    if not removable:
+        return None
+
+    by_stmt: Dict[int, Tuple[ast.stmt, List[ast.alias]]] = {}
+    for node, alias in removable:
+        by_stmt.setdefault(id(node), (node, []))[1].append(alias)
+
+    lines = list(module.source_lines)
+    # Bottom-up so earlier statements' line numbers stay valid.
+    for node, gone in sorted(
+        by_stmt.values(), key=lambda item: item[0].lineno, reverse=True
+    ):
+        start = node.lineno - 1
+        end = (node.end_lineno or node.lineno) - 1
+        keep = [a for a in node.names if a not in gone]  # type: ignore[attr-defined]
+        if keep:
+            indent = lines[start][: len(lines[start]) - len(lines[start].lstrip())]
+            lines[start : end + 1] = [_render_import(node, keep, indent)]
+        else:
+            del lines[start : end + 1]
+    return lines
+
+
+def _suppressed(module: ModuleInfo, node: ast.stmt) -> bool:
+    disabled = suppressed_rules(module, node.lineno)
+    if disabled is None:
+        return False
+    return not disabled or "unused-import" in disabled or "H003" in disabled
+
+
+def fix_unused_imports(path: Path, repo_root: Optional[Path] = None) -> int:
+    """Remove unused imports from ``path`` in place.
+
+    Returns the number of rewrite passes applied (0 = file untouched).
+    Raises ``SyntaxError`` for unparsable input, like the engine does.
+    """
+    module = load_module(path, repo_root)
+    trailing_newline = path.read_text(encoding="utf-8").endswith("\n")
+    passes = 0
+    while passes < _MAX_PASSES:
+        new_lines = _one_pass(module)
+        if new_lines is None:
+            break
+        passes += 1
+        source = "\n".join(new_lines)
+        if trailing_newline and source:
+            source += "\n"
+        path.write_text(source, encoding="utf-8")
+        module = load_module(path, repo_root)
+    return passes

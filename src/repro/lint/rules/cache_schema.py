@@ -1,0 +1,238 @@
+"""C001: SimConfig schema changes must bump ``CACHE_SCHEMA_VERSION``.
+
+The on-disk result cache keys every run by a canonical digest of its full
+configuration (``repro.runner.hashing``).  Adding, removing, reordering, or
+re-defaulting a field on :class:`~repro.sim.network.SimConfig` — or on any
+dataclass reachable from its fields — changes what that digest covers, so
+stale cached results would be served for configs that no longer mean the
+same thing.  PRs 5–8 each bumped ``CACHE_SCHEMA_VERSION`` by hand for
+exactly this reason (2→3→4→5); this rule automates the reviewer vigilance.
+
+The committed ``cache-schema.lock.json`` snapshots, per digest-relevant
+dataclass, the ordered field names / annotations / defaults (field *order*
+matters: ``canonical_bytes`` serializes dataclasses in definition order),
+plus the ``CACHE_SCHEMA_VERSION`` the snapshot was taken at.  The rule
+recomputes the snapshot from the project index and fails when:
+
+* the lock file is missing,
+* the schema changed while the version did not (the drift this rule
+  exists to catch), or
+* the version changed (or the schema changed *with* a bump) but the lock
+  was not regenerated — run ``python -m repro.lint --write-schema-lock``
+  and commit the diff; it reviews like code.
+
+Digest-relevant dataclasses are found by closure: start from the roots
+(``SimConfig`` and ``CollectionResult``, the cached payload), and follow
+every identifier in a field annotation or default through import bindings
+and top-level type aliases (``FaultEvent = Union[NodeCrash, ...]``) to
+other indexed dataclasses.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import Finding
+from repro.lint.project import FileFacts, ProjectIndex, ProjectRule
+
+LOCK_FILENAME = "cache-schema.lock.json"
+LOCK_VERSION = 1
+
+#: Closure roots: the config every digest hashes, and the cached payload.
+SCHEMA_ROOTS = (
+    "repro.sim.network.SimConfig",
+    "repro.metrics.collection_stats.CollectionResult",
+)
+
+#: Where the version constant lives.
+VERSION_MODULE = "repro.runner.hashing"
+VERSION_NAME = "CACHE_SCHEMA_VERSION"
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _identifiers(text: str) -> List[str]:
+    return _IDENT_RE.findall(text)
+
+
+def _resolve_identifier(
+    index: ProjectIndex, module: str, name: str
+) -> Optional[Tuple[str, str]]:
+    """Resolve ``name`` as seen from ``module`` to ``(owner_module, name)``."""
+    f = index.files.get(module)
+    if f is None:
+        return None
+    if name in f.dataclasses or name in f.assignments:
+        return (module, name)
+    target = index.import_bindings(module).get(name)
+    if target is None:
+        return None
+    owner = index.resolve_module(target)
+    if owner is None:
+        return None
+    if owner == target:
+        return None  # a module import, not a symbol
+    return (owner, target[len(owner) + 1 :].split(".")[0])
+
+
+def compute_schema(index: ProjectIndex) -> Optional[Dict[str, object]]:
+    """The current schema snapshot, or ``None`` when the tree under lint
+    does not contain the roots (a partial run — the rule stays silent)."""
+    version = index.int_constant(VERSION_MODULE, VERSION_NAME)
+    roots = [qual for qual in SCHEMA_ROOTS if index.find_dataclass(qual) is not None]
+    if version is None or not roots:
+        return None
+
+    dataclasses: Dict[str, List[Dict[str, object]]] = {}
+    worklist: List[str] = list(roots)
+    seen_aliases: Set[Tuple[str, str]] = set()
+    while worklist:
+        qual = worklist.pop()
+        if qual in dataclasses:
+            continue
+        found = index.find_dataclass(qual)
+        if found is None:
+            continue
+        facts, schema = found
+        fields = [dict(f) for f in schema["fields"]]  # type: ignore[union-attr]
+        dataclasses[qual] = fields
+        for field_schema in fields:
+            text = "%s %s" % (field_schema["type"], field_schema["default"] or "")
+            worklist.extend(_expand(index, facts, text, seen_aliases))
+
+    return {
+        "lock_version": LOCK_VERSION,
+        "cache_schema_version": version,
+        "dataclasses": {q: dataclasses[q] for q in sorted(dataclasses)},
+    }
+
+
+def _expand(
+    index: ProjectIndex,
+    facts: FileFacts,
+    text: str,
+    seen_aliases: Set[Tuple[str, str]],
+) -> List[str]:
+    """Dataclass qualnames referenced (possibly through type aliases) by
+    the identifiers in ``text``, as seen from ``facts``'s module."""
+    out: List[str] = []
+    for ident in _identifiers(text):
+        resolved = _resolve_identifier(index, facts.module, ident)
+        if resolved is None:
+            continue
+        owner, name = resolved
+        owner_facts = index.files.get(owner)
+        if owner_facts is None:
+            continue
+        if name in owner_facts.dataclasses:
+            out.append("%s.%s" % (owner, name))
+        elif name in owner_facts.assignments and (owner, name) not in seen_aliases:
+            # A top-level alias (FaultEvent = Union[...], CC2420 =
+            # RadioParams(...)): expand its value in the owner's context.
+            seen_aliases.add((owner, name))
+            out.extend(_expand(index, owner_facts, owner_facts.assignments[name], seen_aliases))
+    return out
+
+
+def lock_path(repo_root: Path) -> Path:
+    return repo_root / LOCK_FILENAME
+
+
+def load_lock(repo_root: Path) -> Optional[Dict[str, object]]:
+    path = lock_path(repo_root)
+    if not path.is_file():
+        return None
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError:
+        return None
+    if data.get("lock_version") != LOCK_VERSION:
+        return None
+    return data
+
+
+def write_schema_lock(index: ProjectIndex, repo_root: Path) -> Optional[Path]:
+    """Regenerate the committed lock from the current tree."""
+    schema = compute_schema(index)
+    if schema is None:
+        return None
+    path = lock_path(repo_root)
+    path.write_text(json.dumps(schema, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+class CacheSchemaRule(ProjectRule):
+    id = "C001"
+    name = "cache-schema"
+    description = (
+        "digest-relevant dataclass schema changes require a "
+        "CACHE_SCHEMA_VERSION bump and a regenerated cache-schema.lock.json"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        if index.repo_root is None:
+            return
+        current = compute_schema(index)
+        if current is None:
+            return
+        lock = load_lock(index.repo_root)
+        if lock is None:
+            yield self.project_finding(
+                LOCK_FILENAME,
+                1,
+                "cache-schema lock file is missing or unreadable — run "
+                "`python -m repro.lint --write-schema-lock` and commit it",
+            )
+            return
+
+        cur_version = current["cache_schema_version"]
+        lock_version = lock.get("cache_schema_version")
+        cur_schema: Dict[str, object] = dict(current["dataclasses"])  # type: ignore[arg-type]
+        lock_schema: Dict[str, object] = dict(lock.get("dataclasses", {}))  # type: ignore[arg-type]
+
+        if cur_schema == lock_schema:
+            if cur_version != lock_version:
+                yield self.project_finding(
+                    LOCK_FILENAME,
+                    1,
+                    f"{VERSION_NAME} is {cur_version} but the lock records "
+                    f"{lock_version} — regenerate with --write-schema-lock",
+                )
+            return
+
+        changed = sorted(
+            set(cur_schema) ^ set(lock_schema)
+            | {q for q in set(cur_schema) & set(lock_schema) if cur_schema[q] != lock_schema[q]}
+        )
+        if cur_version == lock_version:
+            # The drift this rule exists for: schema moved, version did not.
+            for qual in changed:
+                path, line = self._anchor(index, qual)
+                yield self.project_finding(
+                    path,
+                    line,
+                    f"digest-relevant schema of `{qual}` changed without a "
+                    f"{VERSION_NAME} bump (still {cur_version}) — cached "
+                    "results keyed on the old schema would be served for "
+                    "changed configs; bump the version in "
+                    "repro/runner/hashing.py and regenerate the lock",
+                )
+        else:
+            yield self.project_finding(
+                LOCK_FILENAME,
+                1,
+                f"schema changed ({', '.join(changed)}) and {VERSION_NAME} "
+                f"was bumped to {cur_version}, but the lock still records "
+                "the old snapshot — regenerate with --write-schema-lock",
+            )
+
+    @staticmethod
+    def _anchor(index: ProjectIndex, qualname: str) -> Tuple[str, int]:
+        found = index.find_dataclass(qualname)
+        if found is None:
+            return (LOCK_FILENAME, 1)
+        facts, schema = found
+        return (facts.path, int(schema["line"]))  # type: ignore[arg-type]

@@ -60,9 +60,9 @@ _UNRESOLVED = object()
 #: Same constant the stdlib's ``random.gauss`` uses for Box–Muller.
 _TWOPI = 2.0 * math.pi
 
-#: Extra margin for the carrier-sense candidate list (CCA threshold sits far
-#: above sensitivity, so the reception list already covers it).
-_MW_PER_DBM_CACHE: Dict[float, float] = {}
+#: Bounded memo for the dBm→mW conversion: every entry is a pure function
+#: of its key, so carried state can never change results across runs.
+_MW_PER_DBM_CACHE: Dict[float, float] = {}  # lint: disable=worker-state
 
 #: RSSI values are nearly-unique floats, so the conversion cache is bounded:
 #: past this size new keys are converted without being stored (identical

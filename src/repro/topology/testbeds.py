@@ -64,7 +64,10 @@ class TestbedProfile:
     interferers: Tuple[InterfererSpec, ...] = ()
 
     def topology(self, seed: int) -> Topology:
-        rng = Random(seed)
+        # Topology synthesis predates RngManager and its seed is an explicit
+        # caller-facing parameter, not a derived stream; rekeying it through
+        # derive_seed would shuffle every committed golden placement.
+        rng = Random(seed)  # lint: disable=rng-provenance
         return random_uniform(
             self.n_nodes,
             self.width_m,

@@ -1,0 +1,9 @@
+"""C001 fixture: the cached payload root."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CollectionResult:
+    delivered: int = 0
+    duplicates: int = 0

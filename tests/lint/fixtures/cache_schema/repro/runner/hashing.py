@@ -1,0 +1,3 @@
+"""C001 fixture: the version constant the lock is pinned against."""
+
+CACHE_SCHEMA_VERSION = 3

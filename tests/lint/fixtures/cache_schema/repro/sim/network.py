@@ -1,0 +1,12 @@
+"""C001 fixture: the config root, pulling WorkloadConfig into the closure."""
+
+from dataclasses import dataclass, field
+
+from repro.workloads.collection import WorkloadConfig
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    n_nodes: int = 25
+    seed: int = 1
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)

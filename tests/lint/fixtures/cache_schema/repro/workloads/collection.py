@@ -1,0 +1,9 @@
+"""C001 fixture: a nested config reached through a SimConfig field."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    period_s: float = 60.0
+    jitter: float = 0.1

@@ -1,0 +1,32 @@
+"""R001 fixture: one of every violation class.
+
+Expected findings (7):
+
+1. unseeded ``Random()`` — OS entropy
+2. arithmetic seed ``Random(master + nid)`` — no derive_seed provenance
+3. literal-seeded bit generator ``Generator(PCG64(12345))``
+4. dynamic first stream-name component
+5. f-string stream-name component
+6. duplicate ``derive_seed`` tuple within the module
+7. duplicate ``stream`` tuple within one scope/receiver
+"""
+
+from random import Random
+
+from numpy.random import PCG64, Generator
+
+from repro.sim.rng import RngManager, derive_seed
+
+
+def build(master: int, nid: int, name: str) -> None:
+    wild = Random()  # 1: unseeded
+    drift = Random(master + nid)  # 2: arithmetic seed
+    fast = Generator(PCG64(12345))  # 3: literal seed
+    mgr = RngManager(master)
+    dyn = mgr.stream(name, nid)  # 4: dynamic namespace
+    fmt = mgr.stream("mac", f"node-{nid}")  # 5: string-built component
+    a = derive_seed(master, "noise", 3)
+    b = derive_seed(master, "noise", 3)  # 6: duplicate derive_seed tuple
+    first = mgr.stream("phy", 7)
+    second = mgr.stream("phy", 7)  # 7: duplicate stream tuple, same scope
+    _ = wild, drift, fast, dyn, fmt, a, b, first, second

@@ -1,0 +1,7 @@
+"""W001 fixture (bad): REGISTRY is mutated at runtime from another module."""
+
+REGISTRY = {}
+
+
+def lookup(name):
+    return REGISTRY.get(name)

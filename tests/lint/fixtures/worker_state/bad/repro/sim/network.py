@@ -1,0 +1,15 @@
+"""W001 fixture (bad): worker entry mutating module state at runtime.
+
+Expected findings (2): ``_CACHE`` here (same-module mutation) and
+``REGISTRY`` in medium.py (cross-module mutation through the import).
+"""
+
+from repro.sim import medium
+
+_CACHE = {}
+
+
+def build(config):
+    _CACHE[id(config)] = config
+    medium.REGISTRY.update(config)
+    return medium.lookup("a")

@@ -1,0 +1,14 @@
+"""W001 fixture (good): module globals only initialized at import time."""
+
+REGISTRY = {}
+
+#: Filled by the loop below — module-level mutation is one-time
+#: initialization, not runtime state.
+for _name in ("a", "b"):
+    REGISTRY[_name] = len(_name)
+
+
+def lookup(name):
+    local = {}
+    local[name] = REGISTRY.get(name)
+    return local

@@ -1,0 +1,10 @@
+"""W001 fixture (good): worker entry touching only run-scoped state."""
+
+from repro.sim import medium
+
+
+def build(config):
+    nodes = []
+    for name in config:
+        nodes.append(medium.lookup(name))
+    return nodes

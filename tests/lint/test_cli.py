@@ -98,8 +98,46 @@ def test_missing_path_is_usage_error(capsys):
     assert exc.value.code == 2
 
 
+def test_unparsable_file_is_internal_error(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n", encoding="utf-8")
+    rc = run_cli(str(broken), "--baseline", str(tmp_path / "b.json"))
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_baseline_update_flow_with_project_fingerprints(tmp_path, capsys):
+    """Project-rule findings baseline exactly like file-rule findings."""
+    bad = FIXTURES / "worker_state" / "bad"
+    baseline = tmp_path / "baseline.json"
+    assert run_cli(str(bad), "--select", "worker-state", "--baseline", str(baseline)) == 1
+    capsys.readouterr()
+    assert run_cli(str(bad), "--select", "worker-state", "--baseline", str(baseline), "--write-baseline") == 0
+    capsys.readouterr()
+    rc = run_cli(str(bad), "--select", "worker-state", "--baseline", str(baseline), "--json")
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["findings"] == [] and len(payload["baselined"]) == 2
+    assert all(f["rule"] == "W001" for f in payload["baselined"])
+
+
+def test_write_schema_lock_cli(tmp_path, monkeypatch, capsys):
+    import shutil
+
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n", encoding="utf-8")
+    shutil.copytree(FIXTURES / "cache_schema" / "repro", tmp_path / "repro")
+    monkeypatch.chdir(tmp_path)
+    rc = run_cli(str(tmp_path / "repro"), "--write-schema-lock", "--no-index-cache")
+    assert rc == 0
+    assert "wrote" in capsys.readouterr().out
+    assert (tmp_path / "cache-schema.lock.json").is_file()
+
+
 def test_list_rules(capsys):
     assert run_cli("--list-rules") == 0
     out = capsys.readouterr().out
-    for rule_id in ("D001", "L001", "U001", "S001", "H001", "H002", "H003"):
+    for rule_id in (
+        "D001", "L001", "U001", "S001", "H001", "H002", "H003",
+        "R001", "C001", "P001", "W001",
+    ):
         assert rule_id in out

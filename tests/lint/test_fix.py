@@ -1,0 +1,84 @@
+"""--fix: the H003 unused-import autofixer."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.lint import default_rules, fix_unused_imports, lint_paths
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def h003_findings(path: Path):
+    ctx = lint_paths([path], default_rules(["unused-import"], None))
+    assert not ctx.errors
+    return ctx.findings
+
+
+def test_fix_round_trips_bad_fixture(tmp_path):
+    target = tmp_path / "unused_import_bad.py"
+    shutil.copy(FIXTURES / "hygiene" / "unused_import_bad.py", target)
+    assert len(h003_findings(target)) == 4
+
+    assert fix_unused_imports(target) > 0
+    assert h003_findings(target) == []
+    lines = target.read_text(encoding="utf-8").splitlines()
+    assert not any(l.startswith(("import ", "from ")) for l in lines)
+    assert "def double(x):" in lines
+
+    # Idempotent: a second run touches nothing.
+    before = target.read_text(encoding="utf-8")
+    assert fix_unused_imports(target) == 0
+    assert target.read_text(encoding="utf-8") == before
+
+
+def test_fix_keeps_used_aliases_in_partial_statement(tmp_path):
+    target = tmp_path / "partial.py"
+    target.write_text(
+        "from typing import Dict, List, Optional as Opt\n\nx: Dict = {}\n",
+        encoding="utf-8",
+    )
+    fix_unused_imports(target)
+    assert target.read_text(encoding="utf-8").splitlines()[0] == "from typing import Dict"
+    assert h003_findings(target) == []
+
+
+def test_fix_handles_multiline_from_import(tmp_path):
+    target = tmp_path / "multiline.py"
+    target.write_text(
+        "from typing import (\n    Dict,\n    List,\n)\n\nx: Dict = {}\n",
+        encoding="utf-8",
+    )
+    fix_unused_imports(target)
+    lines = target.read_text(encoding="utf-8").splitlines()
+    assert lines[0] == "from typing import Dict"
+    assert h003_findings(target) == []
+
+
+def test_fix_respects_inline_suppression(tmp_path):
+    target = tmp_path / "suppressed.py"
+    source = "import os  # lint: disable=unused-import\nimport json\n"
+    target.write_text(source, encoding="utf-8")
+    fix_unused_imports(target)
+    assert target.read_text(encoding="utf-8") == "import os  # lint: disable=unused-import\n"
+
+
+def test_fix_leaves_dunder_init_alone(tmp_path):
+    pkg = tmp_path / "repro" / "sub"
+    pkg.mkdir(parents=True)
+    target = pkg / "__init__.py"
+    target.write_text("from os import path\n", encoding="utf-8")
+    assert fix_unused_imports(target, tmp_path) == 0
+    assert target.read_text(encoding="utf-8") == "from os import path\n"
+
+
+def test_cli_fix_reports_fixed_files(tmp_path, capsys):
+    target = tmp_path / "fixme.py"
+    target.write_text("import json\n\nx = 1\n", encoding="utf-8")
+    rc = main([str(target), "--fix", "--select", "unused-import", "--baseline", str(tmp_path / "b.json")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "1 file(s) fixed" in out
+    assert target.read_text(encoding="utf-8") == "\nx = 1\n"

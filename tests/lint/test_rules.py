@@ -32,6 +32,10 @@ def test_registry_has_all_rules():
         "mutable-default",
         "float-equality",
         "unused-import",
+        "rng-provenance",
+        "cache-schema",
+        "backend-parity",
+        "worker-state",
     }
 
 
