@@ -576,5 +576,65 @@ def macro_grid1000_mobile(quick: bool = False) -> BenchResult:
     return _city1000_medium_result("macro_grid1000_mobile", "fast", quick, mobility=True)
 
 
+@scenario
+def micro_campaign(quick: bool = False) -> BenchResult:
+    """Campaign-queue throughput over closed-form synthetic points.
+
+    Measures the orchestration overhead per point — spec enumeration,
+    canonical digesting, cache round-trips, manifest checkpoints — with a
+    simulator that costs nothing (``kind: "synthetic"``), twice: a *cold*
+    pass that executes every point, then a *resume* pass over the same
+    spec where every point comes back as a cache hit.  The warm rate is
+    the queue's exactly-once bookkeeping cost, which bounds how fast any
+    resumed million-run campaign can skip its completed prefix.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.campaign.queue import Campaign
+    from repro.campaign.sweep import SweepSpec
+    from repro.runner.cache import ResultCache
+
+    side = 6 if quick else 14
+    spec = SweepSpec.from_json_dict(
+        {
+            "campaign": "bench",
+            "kind": "synthetic",
+            "mode": "grid",
+            "axes": {
+                "x0": [0.25 * i for i in range(side)],
+                "x1": [0.5 * i for i in range(side)],
+            },
+            "objective": "objective",
+        }
+    )
+    n_points = side * side
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+        cold_campaign = Campaign(spec, state_root=Path(tmp) / "state", cache=cache)
+        t0 = perf_counter()
+        doc = cold_campaign.run()
+        cold_wall = perf_counter() - t0
+        warm_campaign = Campaign(spec, state_root=Path(tmp) / "state", cache=cache)
+        t1 = perf_counter()
+        warm_campaign.run()
+        warm_wall = perf_counter() - t1
+    return BenchResult(
+        name="micro_campaign",
+        kind="micro",
+        metrics={
+            "cold_points_per_s": n_points / cold_wall if cold_wall > 0 else 0.0,
+            "warm_points_per_s": n_points / warm_wall if warm_wall > 0 else 0.0,
+        },
+        check={
+            "n_points": doc["n_points"],
+            "cold_executed": cold_campaign.last_stats.executed,
+            "warm_cache_hits": warm_campaign.last_stats.cache_hits,
+            "best_digest": doc["best"]["digest"],
+        },
+        wall_s=cold_wall + warm_wall,
+    )
+
+
 MICRO = tuple(n for n, fn in SCENARIOS.items() if n.startswith("micro_"))
 MACRO = tuple(n for n, fn in SCENARIOS.items() if n.startswith("macro_"))

@@ -1,0 +1,5 @@
+import sys
+
+from repro.campaign.cli import main
+
+sys.exit(main())

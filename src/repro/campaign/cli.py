@@ -1,0 +1,194 @@
+"""Campaign CLI: run, resume, inspect, and tune from declarative spec files.
+
+Examples::
+
+    # run the paper's ku/kb ablation grid on 4 workers
+    python -m repro.campaign run examples/ablation_kukb.json --workers 4
+
+    # interrupt it (Ctrl-C or SIGTERM), then pick it back up — completed
+    # points come back as cache hits, nothing re-executes
+    python -m repro.campaign resume examples/ablation_kukb.json --workers 4
+
+    # where is it?  (points cached vs planned, rounds done, summary state)
+    python -m repro.campaign status examples/ablation_kukb.json
+
+    # closed-loop estimator tuning (mode: "optimize" spec)
+    python -m repro.campaign tune examples/tune_estimator.json
+
+Exit codes: 0 success, 1 usage/spec error, 3 interrupted (resumable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+from pathlib import Path
+
+from repro.campaign.optimize import OptimizerSpec
+from repro.campaign.queue import (
+    DEFAULT_STATE_ROOT,
+    Campaign,
+    CampaignInterrupted,
+    load_campaign_file,
+)
+from repro.runner.cache import ResultCache, cache_dir_from_env
+
+EXIT_INTERRUPTED = 3
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("spec", help="campaign spec file (.json, or .toml on Python >= 3.11)")
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help=f"campaign state root (default: $REPRO_CAMPAIGN_DIR or {DEFAULT_STATE_ROOT})",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache location (default: $REPRO_CACHE_DIR or {cache_dir_from_env()})",
+    )
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    _add_common(parser)
+    parser.add_argument("--workers", type=int, default=1, help="process count (1 = serial)")
+    parser.add_argument("--timeout", type=float, default=None, help="per-run timeout (seconds)")
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the summary JSON here ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--stop-after", type=int, default=None, metavar="K",
+        help="deterministic forced interruption after K executed runs "
+        "(CI smoke / property tests; exits with code 3 like a signal would)",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="append campaign + sweep stream records to this JSONL file",
+    )
+    parser.add_argument("--progress", action="store_true", help="print runner throughput lines")
+    parser.add_argument("--quiet", action="store_true", help="suppress the closing report")
+
+
+def _build_campaign(args: argparse.Namespace) -> Campaign:
+    spec = load_campaign_file(args.spec)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache.default()
+    telemetry = None
+    if getattr(args, "telemetry", None):
+        from repro.obs.stream import JsonlStreamSink
+
+        telemetry = JsonlStreamSink(args.telemetry)
+    return Campaign(
+        spec,
+        state_root=args.state_dir,
+        cache=cache,
+        workers=getattr(args, "workers", 1),
+        timeout_s=getattr(args, "timeout", None),
+        telemetry=telemetry,
+        progress=getattr(args, "progress", False),
+        stop_after=getattr(args, "stop_after", None),
+    )
+
+
+def _cmd_run(args: argparse.Namespace, require_optimizer: bool = False) -> int:
+    campaign = _build_campaign(args)
+    if require_optimizer and not isinstance(campaign.spec, OptimizerSpec):
+        print(
+            f"error: {args.spec} is a {getattr(campaign.spec, 'mode', '?')} sweep; "
+            "'tune' needs a spec with mode: \"optimize\" (use 'run' instead)",
+            file=sys.stderr,
+        )
+        return 1
+
+    def _on_signal(signum, frame):  # pragma: no cover - exercised via subprocess
+        campaign.request_stop()
+
+    previous = {}
+    for signame in ("SIGTERM", "SIGINT"):
+        signum = getattr(signal, signame, None)
+        if signum is not None:
+            previous[signum] = signal.signal(signum, _on_signal)
+    try:
+        try:
+            doc = campaign.run()
+        except CampaignInterrupted as exc:
+            stats = campaign.last_stats
+            print(
+                f"[campaign] interrupted after {exc.completed} executed run(s) "
+                f"({stats.cache_hits} cached); state saved under {campaign.state_dir} — "
+                f"resume with: python -m repro.campaign resume {args.spec}",
+                file=sys.stderr,
+            )
+            return EXIT_INTERRUPTED
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    if args.out:
+        text = campaign.summary_path.read_text()
+        if args.out == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+            Path(args.out).write_text(text)
+    if not args.quiet:
+        stats = campaign.last_stats
+        line = (
+            f"[campaign] {campaign.spec.name}: {stats.executed} executed, "
+            f"{stats.cache_hits} cached, {stats.failures} failed; "
+            f"summary: {campaign.summary_path}"
+        )
+        if isinstance(doc, dict) and doc.get("best") not in (None, {}):
+            best = doc["best"]
+            line += f"\n[campaign] best {doc.get('objective')}: {best.get('score')} at {best.get('params')}"
+        elif isinstance(doc, dict) and doc.get("best_params") is not None:
+            line += (
+                f"\n[campaign] best {doc.get('objective')}: {doc.get('best_score')} "
+                f"at {doc.get('best_params')} "
+                f"({doc.get('valid_evaluations')}/{doc.get('evaluations')} valid)"
+            )
+        print(line, file=sys.stderr)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    campaign = _build_campaign(args)
+    status = campaign.status()
+    json.dump(status, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute a campaign spec (resumes automatically)")
+    _add_run_args(run_p)
+    resume_p = sub.add_parser("resume", help="alias of run: cached points are never re-executed")
+    _add_run_args(resume_p)
+    tune_p = sub.add_parser("tune", help="run a closed-loop optimizer spec (mode: optimize)")
+    _add_run_args(tune_p)
+    status_p = sub.add_parser("status", help="report cached/planned progress without executing")
+    _add_common(status_p)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command in ("run", "resume"):
+            return _cmd_run(args)
+        if args.command == "tune":
+            return _cmd_run(args, require_optimizer=True)
+        return _cmd_status(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

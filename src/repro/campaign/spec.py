@@ -1,0 +1,315 @@
+"""The declarative simulation contract: ``spec -> simulate() -> summary``.
+
+A :class:`SimulationSpec` is a frozen, canonically hashable description of
+one simulation — the unit the campaign queue enumerates, digests, shards,
+caches, and resumes.  :func:`simulate` is the single top-level (picklable)
+entry point the runner's workers call; it dispatches on ``spec.kind``:
+
+``collection``
+    A full :class:`~repro.sim.network.CollectionNetwork` run built through
+    the experiment harness.  Parameters name the scale (``profile``,
+    ``n_nodes``, ``duration_s``, ...), the run (``protocol``, ``seed``,
+    ``tx_power_dbm``), estimator constants (``ku``, ``kb``,
+    ``alpha_outer``, ``alpha_beacon``, ``table_size``, ...), and the
+    white-bit derivation (``white_bit``, ``white_bit_threshold``).
+``accuracy``
+    A scripted single-link estimator-accuracy run
+    (:mod:`repro.estimators.accuracy`) scored against ground-truth ETX —
+    the cheap objective the closed-loop tuner iterates on.
+``synthetic``
+    A closed-form objective (quadratic bowl, or deliberately NaN/inf
+    surfaces) with no simulator behind it — the harness the campaign's own
+    property tests and throughput benchmarks run against.
+
+Every kind returns a :class:`SimulationResult` whose ``summary`` contains
+only **deterministic, strict-JSON-safe** values: two runs of the same spec
+— serial or pooled, fresh or resumed — serialize byte-identically.  Wall
+-clock accounting stays on the separate ``resources`` slot, which the
+runner fills and summaries never include.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.metrics.collection_stats import json_sanitize
+from repro.runner.hashing import config_digest
+
+#: Simulation kinds :func:`simulate` can execute.
+KINDS = ("collection", "accuracy", "synthetic")
+
+#: ``collection`` parameters that size the testbed (everything else is a
+#: run/estimator/config parameter).
+_SCALE_PARAMS = ("profile", "n_nodes", "duration_s", "warmup_s", "topology_seed")
+
+#: ``collection`` parameters forwarded to :class:`SimConfig` verbatim.
+_SIMCONFIG_PARAMS = ("white_bit", "white_bit_threshold", "medium", "faults", "mobility")
+
+#: ``collection`` run identity parameters.
+_RUN_PARAMS = ("protocol", "seed", "tx_power_dbm")
+
+#: ``accuracy`` scenario parameters (see ``objectives.scenario_from_params``).
+_ACCURACY_PARAMS = (
+    "scenario",
+    "prr",
+    "high",
+    "low",
+    "step_at_s",
+    "duration_s",
+    "warmup_s",
+    "beacon_period_s",
+    "data_rate_pps",
+    "sample_period_s",
+    "seed",
+    "preset",
+)
+
+
+def freeze_value(value: Any) -> Any:
+    """Normalize JSON-decoded values into canonically hashable form.
+
+    Lists become tuples (recursively) so a spec loaded from JSON equals —
+    and digests identically to — the same spec built in Python.  Dicts
+    become sorted ``(key, value)`` tuples for the same reason: the frozen
+    dataclass stays hashable and the encoding order-independent.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), freeze_value(v)) for k, v in value.items()))
+    return value
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """One fully specified simulation — the unit of caching and fan-out."""
+
+    kind: str
+    #: Sorted ``(name, value)`` pairs; values are plain data (canonically
+    #: hashable), so the spec digests stably across processes.
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown simulation kind {self.kind!r}; choose from {KINDS}")
+
+    @classmethod
+    def make(cls, kind: str, **params: Any) -> "SimulationSpec":
+        return cls.from_params(kind, params)
+
+    @classmethod
+    def from_params(cls, kind: str, params: Dict[str, Any]) -> "SimulationSpec":
+        frozen = tuple(sorted((str(k), freeze_value(v)) for k, v in params.items()))
+        return cls(kind=kind, params=frozen)
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def digest(self) -> str:
+        """Canonical identity — the cache key component and resume anchor."""
+        return config_digest(self)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": json_sanitize(self.param_dict())}
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "SimulationSpec":
+        return cls.from_params(str(data["kind"]), dict(data.get("params", {})))
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind}({parts})"
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one :func:`simulate` call.
+
+    ``summary`` is the deliverable: deterministic, strict-JSON-safe
+    metrics keyed by name.  ``objectives`` read straight out of it — the
+    optimizer scores ``summary[spec.objective]``.
+    """
+
+    kind: str
+    digest: str
+    params: Dict[str, Any]
+    summary: Dict[str, Any]
+    #: Simulator events executed (runner throughput accounting; 0 for
+    #: closed-form kinds).
+    events_run: int = 0
+    #: Wall/CPU/RSS deltas attached by the runner workers — inherently
+    #: nondeterministic, excluded from equality and from summaries.
+    resources: Optional[Dict[str, float]] = field(default=None, compare=False)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Deterministic strict-JSON view (``resources`` deliberately absent)."""
+        return json_sanitize(
+            {
+                "kind": self.kind,
+                "digest": self.digest,
+                "params": self.params,
+                "summary": self.summary,
+            }
+        )
+
+
+def simulate(spec: SimulationSpec) -> SimulationResult:
+    """Execute one spec.  Top-level and picklable: the pool worker entry."""
+    params = spec.param_dict()
+    if spec.kind == "synthetic":
+        summary: Dict[str, Any] = _simulate_synthetic(params)
+        events = 0
+    elif spec.kind == "accuracy":
+        summary = _simulate_accuracy(params)
+        events = int(summary.pop("_events_run", 0))
+    else:
+        summary, events = _simulate_collection(params)
+    return SimulationResult(
+        kind=spec.kind,
+        digest=spec.digest(),
+        params=json_sanitize(params),
+        summary=json_sanitize(summary),
+        events_run=events,
+    )
+
+
+# ---------------------------------------------------------------------------
+# synthetic
+# ---------------------------------------------------------------------------
+def _simulate_synthetic(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Closed-form objective surfaces for tests and benchmarks.
+
+    Coordinates are every parameter whose name starts with ``x``; the
+    objective is the squared distance to ``optimum`` (default 0.0, one
+    shared target per coordinate).  ``mode`` selects failure surfaces the
+    optimizer must degrade gracefully on:
+
+    * ``"quadratic"`` (default) — the convex bowl;
+    * ``"nan"`` / ``"inf"`` — the objective is never finite;
+    * ``"nan_below"`` — NaN wherever any coordinate falls below
+      ``threshold`` (a partially invalid region).
+    """
+    mode = str(params.get("mode", "quadratic"))
+    optimum = float(params.get("optimum", 0.0))
+    coords = sorted((k, float(v)) for k, v in params.items() if k.startswith("x"))
+    if not coords:
+        raise ValueError("synthetic spec needs at least one coordinate parameter (x0, x1, ...)")
+    if mode == "nan":
+        objective = math.nan
+    elif mode == "inf":
+        objective = math.inf
+    elif mode == "nan_below":
+        threshold = float(params.get("threshold", 0.0))
+        if any(v < threshold for _k, v in coords):
+            objective = math.nan
+        else:
+            objective = sum((v - optimum) ** 2 for _k, v in coords)
+    elif mode == "quadratic":
+        objective = sum((v - optimum) ** 2 for _k, v in coords)
+    else:
+        raise ValueError(f"unknown synthetic mode {mode!r}")
+    return {"objective": objective, "dims": len(coords)}
+
+
+# ---------------------------------------------------------------------------
+# accuracy
+# ---------------------------------------------------------------------------
+def _simulate_accuracy(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.estimators.objectives import (
+        accuracy_summary,
+        estimator_config_from_params,
+        scenario_from_params,
+        split_estimator_params,
+    )
+
+    est_params, rest = split_estimator_params(params)
+    unknown = sorted(k for k in rest if k not in _ACCURACY_PARAMS)
+    if unknown:
+        raise ValueError(
+            f"unknown accuracy parameter(s) {unknown}; "
+            f"scenario parameters are {sorted(_ACCURACY_PARAMS)} and estimator "
+            "constants follow EstimatorConfig field names"
+        )
+    config = estimator_config_from_params(est_params, preset=str(rest.get("preset", "4b")))
+    scenario = scenario_from_params(rest)
+    return accuracy_summary(config, scenario)
+
+
+# ---------------------------------------------------------------------------
+# collection
+# ---------------------------------------------------------------------------
+def _simulate_collection(params: Dict[str, Any]) -> Tuple[Dict[str, Any], int]:
+    # Local imports keep the closed-form kinds import-light (the property
+    # tests churn through thousands of synthetic specs).
+    from repro.estimators.objectives import (
+        estimator_config_from_params,
+        split_estimator_params,
+    )
+    from repro.experiments.common import ExperimentScale, run_one
+
+    est_params, rest = split_estimator_params(params)
+    known = _SCALE_PARAMS + _RUN_PARAMS + _SIMCONFIG_PARAMS
+    unknown = sorted(k for k in rest if k not in known)
+    if unknown:
+        raise ValueError(
+            f"unknown collection parameter(s) {unknown}; known: {sorted(known)} "
+            "plus EstimatorConfig field names"
+        )
+    n_nodes = rest.get("n_nodes")
+    scale = ExperimentScale(
+        profile_name=str(rest.get("profile", "mirage")),
+        n_nodes=None if n_nodes is None else int(n_nodes),
+        duration_s=float(rest.get("duration_s", 420.0)),
+        warmup_s=float(rest.get("warmup_s", 120.0)),
+        topology_seed=int(rest.get("topology_seed", 11)),
+        seeds=(int(rest.get("seed", 1)),),
+    )
+    overrides: Dict[str, Any] = {}
+    for name in _SIMCONFIG_PARAMS:
+        if rest.get(name) is not None:
+            overrides[name] = rest[name]
+    protocol = str(rest.get("protocol", "4b"))
+    if est_params:
+        overrides["estimator_config"] = estimator_config_from_params(
+            est_params, preset=protocol
+        )
+    result = run_one(
+        scale,
+        protocol,
+        int(rest.get("seed", 1)),
+        float(rest.get("tx_power_dbm", 0.0)),
+        **overrides,
+    )
+    summary = {
+        "cost": result.cost,
+        "delivery_ratio": result.delivery_ratio,
+        "avg_tree_depth": result.avg_tree_depth,
+        "mean_packet_hops": result.mean_packet_hops,
+        "disconnected_fraction": result.disconnected_fraction,
+        "offered": result.offered,
+        "unique_delivered": result.unique_delivered,
+        "duplicates_at_root": result.duplicates_at_root,
+        "total_data_tx": result.total_data_tx,
+        "beacons_sent": result.beacons_sent,
+        "events_run": result.events_run,
+    }
+    return summary, result.events_run
+
+
+#: Names of deterministic summary keys per kind — what sweep files may name
+#: as an ``objective`` (documentation + spec validation aid).
+OBJECTIVE_KEYS = {
+    "synthetic": ("objective",),
+    "accuracy": ("mre", "availability", "detection_delay_s", "beacon_tx", "data_tx"),
+    "collection": (
+        "cost",
+        "delivery_ratio",
+        "avg_tree_depth",
+        "mean_packet_hops",
+        "disconnected_fraction",
+        "total_data_tx",
+        "beacons_sent",
+    ),
+}

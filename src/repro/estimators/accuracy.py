@@ -58,6 +58,11 @@ class AccuracyResult:
     #: Time from a scripted PRR step until the estimate crossed the midpoint
     #: between the old and new truth (None = never, or no step in the trace).
     detection_delay_s: Optional[float] = None
+    #: Deterministic cost accounting for the run: ``beacon_tx`` (probe
+    #: frames the neighbor broadcast), ``data_tx`` (unicast transmissions
+    #: the estimator's node spent), ``acks_received``, ``events_run`` —
+    #: what a campaign objective weighs against accuracy.
+    cost_counters: Dict[str, int] = field(default_factory=dict)
 
     def mean_relative_error(self) -> float:
         """Mean |est − true| / true over scored samples."""
@@ -130,6 +135,12 @@ def evaluate(
     engine.schedule(scenario.sample_period_s, sample)
     engine.run_until(scenario.duration_s)
     result.detection_delay_s = _detection_delay(result)
+    result.cost_counters = {
+        "beacon_tx": macs[NEIGHBOR].stats.tx_broadcast,
+        "data_tx": macs[ME].stats.tx_unicast,
+        "acks_received": macs[ME].stats.acks_received,
+        "events_run": engine.events_run,
+    }
     return result
 
 

@@ -45,6 +45,8 @@ LOCK_VERSION = 1
 SCHEMA_ROOTS = (
     "repro.sim.network.SimConfig",
     "repro.metrics.collection_stats.CollectionResult",
+    "repro.campaign.spec.SimulationSpec",
+    "repro.campaign.spec.SimulationResult",
 )
 
 #: Where the version constant lives.

@@ -42,6 +42,8 @@ WORKER_ENTRY_PREFIXES = (
     "repro.experiments",
     "repro.bench.scenarios",
     "repro.sim.network",
+    # Campaign points execute via simulate() inside pool workers.
+    "repro.campaign",
 )
 
 #: Module-level names that are conventionally not state.

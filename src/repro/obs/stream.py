@@ -30,11 +30,17 @@ Stream record schema (one JSON object per line; DESIGN.md §10):
                 plus optional ``resources`` per completed run
 ``sweep-end``   ``executed, cache_hits, failures, wall_s, cpu_s,
                 max_rss_kb`` — the sweep's closing accounting
+``campaign-start``  ``campaign, digest, mode, planned`` — emitted by the
+                *campaign queue* before its first sweep round
+``campaign-round``  ``campaign, digest, round, completed, enumerated`` —
+                one per completed sweep/optimizer round (checkpoint)
+``campaign-end``  ``campaign, digest, status (completed|interrupted),
+                executed`` — how the campaign session ended
 ==============  ============================================================
 
 ``seq`` increases by one per record *per emitting stream*; ``t`` is
-simulated seconds for run-scoped records and ``null`` for sweep-scoped
-ones (they live in wall time).  Because ``updates`` carries deltas keyed
+simulated seconds for run-scoped records and ``null`` for sweep- and
+campaign-scoped ones (they live in wall time).  Because ``updates`` carries deltas keyed
 by full flat metric keys, :func:`fold_snapshots` reconstructs the exact
 end-of-run registry snapshot by replaying records in order — counters in
 the folded state match :meth:`MetricsRegistry.snapshot` at run end
@@ -69,7 +75,8 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Every record kind the stream may carry, by scope.
 RUN_KINDS = ("run-start", "snapshot", "run-end")
 SWEEP_KINDS = ("sweep-start", "run-result", "sweep-end")
-STREAM_KINDS = RUN_KINDS + SWEEP_KINDS
+CAMPAIGN_KINDS = ("campaign-start", "campaign-round", "campaign-end")
+STREAM_KINDS = RUN_KINDS + SWEEP_KINDS + CAMPAIGN_KINDS
 
 #: Required fields (beyond the envelope) per record kind.
 _REQUIRED_FIELDS: Dict[str, tuple] = {
@@ -79,9 +86,13 @@ _REQUIRED_FIELDS: Dict[str, tuple] = {
     "sweep-start": ("total",),
     "run-result": ("label", "status"),
     "sweep-end": ("executed", "cache_hits", "failures"),
+    "campaign-start": ("campaign", "digest", "mode"),
+    "campaign-round": ("campaign", "digest", "round", "completed"),
+    "campaign-end": ("campaign", "digest", "status"),
 }
 
 _RUN_RESULT_STATUSES = ("ok", "cached", "failed")
+_CAMPAIGN_END_STATUSES = ("completed", "interrupted")
 
 
 def _sanitize_value(value: Any) -> Any:
@@ -142,6 +153,11 @@ def validate_record(record: Any) -> List[str]:
     if kind == "run-result" and record.get("status") not in _RUN_RESULT_STATUSES:
         errors.append(
             f"run-result: status must be one of {_RUN_RESULT_STATUSES}, "
+            f"got {record.get('status')!r}"
+        )
+    if kind == "campaign-end" and record.get("status") not in _CAMPAIGN_END_STATUSES:
+        errors.append(
+            f"campaign-end: status must be one of {_CAMPAIGN_END_STATUSES}, "
             f"got {record.get('status')!r}"
         )
     return errors
@@ -431,6 +447,7 @@ class TelemetrySampler:
 
 
 __all__ = [
+    "CAMPAIGN_KINDS",
     "JsonlStreamSink",
     "PrometheusTextSink",
     "RingStreamSink",

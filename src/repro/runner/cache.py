@@ -64,7 +64,16 @@ class ResultCache:
             return MISS
 
     def __contains__(self, digest: str) -> bool:
-        return self.path_for(digest).exists()
+        """True only for entries that actually *load*.
+
+        Membership must agree with :meth:`get`: an entry whose write was
+        torn mid-crash exists on disk but unpickles to garbage, and a
+        path-existence check would report it present while ``get`` treats
+        it as a miss — a resumed sweep would then skip the run *and* have
+        no result for it.  Loading the entry makes "present" mean
+        "recoverable".
+        """
+        return self.get(digest) is not MISS
 
     def put(self, digest: str, result: Any) -> None:
         path = self.path_for(digest)

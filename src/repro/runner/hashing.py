@@ -34,7 +34,10 @@ from typing import Any
 #: 5: SimConfig grew ``mobility`` (preset name or MobilityConfig JSON
 #: round-trip) — config digests change shape, and mobile fast-medium runs
 #: exercise incremental structural maintenance absent from v4 payloads.
-CACHE_SCHEMA_VERSION = 5
+#: 6: SimConfig grew ``white_bit_threshold`` (the campaign-tunable
+#: white-bit knob) and campaign SimulationSpec/SweepSpec digests joined
+#: the schema; cached payloads gained SimulationResult objects.
+CACHE_SCHEMA_VERSION = 6
 
 
 def _frame(raw: bytes) -> bytes:

@@ -47,13 +47,25 @@ def _on_alarm(signum, frame):  # pragma: no cover - fires only on timeout
     raise RunTimeout()
 
 
-def _call_with_timeout(fn: Callable[[Any], Any], arg: Any, timeout_s: Optional[float]) -> Any:
+def _call_with_timeout(
+    fn: Callable[[Any], Any],
+    arg: Any,
+    timeout_s: Optional[float],
+    cache_info: Optional[Tuple[str, str]] = None,
+) -> Any:
     """Worker entry point: run ``fn(arg)`` under an optional SIGALRM budget.
 
     Also captures the run's wall/CPU/max-RSS deltas and attaches them to
     the result when it has a ``resources`` slot (``CollectionResult`` does)
     — measured *inside* the worker process, so pool runs report the CPU
     that actually executed them.
+
+    When ``cache_info`` (``(cache_root, digest)``) is given, the completed
+    result is written to the on-disk cache *here*, before it travels back
+    to the parent.  That makes every completed run durable the moment it
+    finishes: a sweep killed while results are in flight — the campaign
+    queue's interruption path — loses nothing, and a resume replays those
+    runs as cache hits instead of re-executing them.
     """
     from repro.obs.resources import ResourceProbe, attach_resources
 
@@ -69,6 +81,9 @@ def _call_with_timeout(fn: Callable[[Any], Any], arg: Any, timeout_s: Optional[f
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
     attach_resources(result, probe.stop())
+    if cache_info is not None:
+        root, digest = cache_info
+        ResultCache(root).put(digest, result)
     return result
 
 
@@ -347,17 +362,26 @@ class ExperimentRunner:
         extra: Dict[str, Any] = {}
         if resources:
             extra["resources"] = dict(resources)
+        # No cache.put here: the worker already persisted the result before
+        # returning it (see _call_with_timeout), so completions are durable
+        # even if telemetry below — the campaign interruption point — raises.
         self._emit_telemetry(
             "run-result", label=task.describe(), digest=digest, status="ok",
             events_run=int(getattr(result, "events_run", 0) or 0), **extra,
         )
-        if self.cache is not None:
-            self.cache.put(digest, result)
+
+    def _cache_info(self, digest: str) -> Optional[Tuple[str, str]]:
+        """Worker-side durable-write instructions for one task (picklable)."""
+        if self.cache is None:
+            return None
+        return (str(self.cache.root), digest)
 
     def _run_serial(self, todo, outcomes, failed, stats, t0) -> None:
         for task, digest in todo:
             try:
-                result = _call_with_timeout(task.fn, task.arg, self.timeout_s)
+                result = _call_with_timeout(
+                    task.fn, task.arg, self.timeout_s, self._cache_info(digest)
+                )
             except Exception as exc:
                 failed[digest] = self._failure(task, digest, exc, stats)
             else:
@@ -382,7 +406,10 @@ class ExperimentRunner:
                 while len(in_flight) < self.chunk_size and submitted < len(todo):
                     task, digest = todo[submitted]
                     submitted += 1
-                    future = pool.submit(_call_with_timeout, task.fn, task.arg, self.timeout_s)
+                    future = pool.submit(
+                        _call_with_timeout, task.fn, task.arg, self.timeout_s,
+                        self._cache_info(digest),
+                    )
                     in_flight[future] = (task, digest)
 
             top_up()

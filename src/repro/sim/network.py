@@ -78,6 +78,12 @@ class SimConfig:
     #: (signal/noise threshold), or "never" (hardware provides nothing —
     #: the paper's worst case, appropriate for CC1000).
     white_bit: str = "lqi"
+    #: Tuning knob for the white-bit derivation: the LQI floor for
+    #: ``white_bit="lqi"`` (chip default 105) or the dB threshold for
+    #: ``white_bit="snr"`` (default derived from the SNR/BER curve).
+    #: ``None`` keeps each policy's built-in default; meaningless — and
+    #: rejected — for ``white_bit="never"``.
+    white_bit_threshold: Optional[float] = None
     #: Profile the event loop (wall time per event kind, events/sec, queue
     #: depth); the profile surfaces on ``CollectionResult.profile``.
     profile_events: bool = False
@@ -122,6 +128,16 @@ class SimConfig:
             raise ValueError("duration must exceed warmup")
         if self.white_bit not in ("lqi", "snr", "never"):
             raise ValueError(f"unknown white-bit policy {self.white_bit!r}")
+        if self.white_bit_threshold is not None:
+            if self.white_bit == "never":
+                raise ValueError(
+                    "white_bit_threshold is meaningless with white_bit='never'"
+                )
+            if self.white_bit == "lqi" and not (0 <= self.white_bit_threshold <= 127):
+                raise ValueError(
+                    f"LQI white-bit threshold must be in [0, 127], "
+                    f"got {self.white_bit_threshold!r}"
+                )
         if self.telemetry_period_s is not None and self.telemetry_period_s <= 0:
             raise ValueError(
                 f"telemetry_period_s must be positive: {self.telemetry_period_s!r}"
@@ -146,6 +162,23 @@ class SimConfig:
                 )
 
 
+def _white_policy(config: SimConfig):
+    """The white-bit policy ``config`` names, honoring the tuning threshold.
+
+    Built lazily per network (not as an eager table) so only the selected
+    policy is constructed and ``white_bit_threshold`` — a campaign-tunable
+    constant — reaches it.
+    """
+    threshold = config.white_bit_threshold
+    if config.white_bit == "lqi":
+        return LqiWhiteBit() if threshold is None else LqiWhiteBit(threshold=int(threshold))
+    if config.white_bit == "snr":
+        if threshold is None:
+            return SnrWhiteBit.from_prr_target()
+        return SnrWhiteBit(threshold_db=float(threshold))
+    return NeverWhiteBit()
+
+
 class CollectionNetwork:
     """A fully wired simulated testbed."""
 
@@ -163,11 +196,7 @@ class CollectionNetwork:
         self.engine = Engine()
         self.rng = RngManager(config.seed)
         self.channel = self._build_channel()
-        white_policies = {
-            "lqi": LqiWhiteBit(),
-            "snr": SnrWhiteBit.from_prr_target(),
-            "never": NeverWhiteBit(),
-        }
+        white_policy = _white_policy(config)
         if config.medium == "fast":
             # Local import: numpy stays off the import path of exact runs.
             from repro.sim.medium_fast import FastRadioMedium
@@ -179,7 +208,7 @@ class CollectionNetwork:
             self.engine,
             self.channel,
             self.rng,
-            white_bit_policy=white_policies[config.white_bit],
+            white_bit_policy=white_policy,
         )
         self.sink = SinkRecorder()
         self.nodes: Dict[int, Node] = {}

@@ -1,0 +1,190 @@
+"""CLI contract: run/status/resume/tune subcommands, SIGTERM resumability."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+GRID_SPEC = {
+    "campaign": "cli-grid",
+    "kind": "synthetic",
+    "mode": "grid",
+    "base": {"optimum": 0.5},
+    "axes": {"x0": [0.0, 0.5, 1.0], "x1": [0.0, 1.0], "x2": [2.0, 3.0]},
+    "objective": "objective",
+}
+
+# Accuracy points at this duration take ~0.1s each: slow enough that a
+# SIGTERM lands mid-sweep, fast enough for CI.
+SLOW_SPEC = {
+    "campaign": "cli-slow",
+    "kind": "accuracy",
+    "mode": "grid",
+    "base": {"scenario": "steady", "duration_s": 3600.0, "warmup_s": 60.0},
+    "axes": {"prr": [0.5, 0.6, 0.7, 0.8, 0.9, 0.95], "ku": [1, 3, 5, 12]},
+    "objective": "mre",
+}
+
+
+def _write_spec(tmp_path: Path, data: dict, name: str = "spec.json") -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def _cli(args, tmp_path: Path, **kwargs):
+    base = [
+        sys.executable, "-m", "repro.campaign", *args,
+        "--state-dir", str(tmp_path / "state"),
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    return subprocess.run(
+        base, env=_env(), cwd=str(REPO_ROOT), capture_output=True, text=True,
+        timeout=180, **kwargs,
+    )
+
+
+def _summary_path(tmp_path: Path) -> Path:
+    (digest_dir,) = list((tmp_path / "state").iterdir())
+    return digest_dir / "summary.json"
+
+
+def test_run_writes_summary_and_out_copy(tmp_path):
+    spec = _write_spec(tmp_path, GRID_SPEC)
+    out = tmp_path / "copy.json"
+    proc = _cli(["run", str(spec), "--out", str(out)], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "12 executed, 0 cached, 0 failed" in proc.stderr
+    assert "best objective" in proc.stderr
+    summary = _summary_path(tmp_path)
+    assert summary.read_bytes() == out.read_bytes()
+    doc = json.loads(out.read_text())
+    assert doc["n_points"] == 12 and doc["n_failed"] == 0
+    # optimum=0.5: best grid point is (0.5, 0 or 1, 2) -> 0 + 0.25 + 2.25.
+    assert doc["best"]["score"] == pytest.approx(2.5)
+
+
+def test_stop_after_exits_3_and_resume_completes_byte_identical(tmp_path):
+    spec = _write_spec(tmp_path, GRID_SPEC)
+    ref_dir = tmp_path / "ref"
+    ref_dir.mkdir()
+    ref_spec = _write_spec(ref_dir, GRID_SPEC)
+    ref = _cli(["run", str(ref_spec)], ref_dir)
+    assert ref.returncode == 0, ref.stderr
+
+    first = _cli(["run", str(spec), "--stop-after", "5"], tmp_path)
+    assert first.returncode == 3, first.stderr
+    assert "interrupted after 5 executed" in first.stderr
+    assert "resume with" in first.stderr
+    assert not _summary_path(tmp_path).exists()
+
+    resumed = _cli(["resume", str(spec)], tmp_path)
+    assert resumed.returncode == 0, resumed.stderr
+    assert "7 executed, 5 cached" in resumed.stderr
+    assert _summary_path(tmp_path).read_bytes() == _summary_path(ref_dir).read_bytes()
+
+
+def test_sigterm_midway_then_resume_byte_identical(tmp_path):
+    spec = _write_spec(tmp_path, SLOW_SPEC)
+    ref_dir = tmp_path / "ref"
+    ref_dir.mkdir()
+    ref_spec = _write_spec(ref_dir, SLOW_SPEC)
+    ref = _cli(["run", str(ref_spec)], ref_dir)
+    assert ref.returncode == 0, ref.stderr
+
+    telemetry = tmp_path / "stream.jsonl"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.campaign", "run", str(spec),
+            "--state-dir", str(tmp_path / "state"),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry", str(telemetry),
+        ],
+        env=_env(), cwd=str(REPO_ROOT),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    # Wait until a few points have actually executed, then pull the plug.
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        if telemetry.exists() and sum(
+            1 for line in telemetry.read_text().splitlines() if '"run-result"' in line
+        ) >= 3:
+            break
+        time.sleep(0.05)
+    proc.send_signal(signal.SIGTERM)
+    _out, err = proc.communicate(timeout=120)
+    if proc.returncode == 0:  # lost the race: the sweep finished first
+        pytest.skip("campaign completed before SIGTERM landed")
+    assert proc.returncode == 3, err
+    assert "interrupted after" in err
+
+    resumed = _cli(["resume", str(spec)], tmp_path)
+    assert resumed.returncode == 0, resumed.stderr
+    assert "cached" in resumed.stderr
+    assert _summary_path(tmp_path).read_bytes() == _summary_path(ref_dir).read_bytes()
+
+
+def test_status_reports_progress_without_executing(tmp_path):
+    spec = _write_spec(tmp_path, GRID_SPEC)
+    before = _cli(["status", str(spec)], tmp_path)
+    assert before.returncode == 0, before.stderr
+    doc = json.loads(before.stdout)
+    assert doc["planned_points"] == 12 and doc["cached_points"] == 0
+    assert doc["summary_written"] is False
+
+    interrupted = _cli(["run", str(spec), "--stop-after", "4"], tmp_path)
+    assert interrupted.returncode == 3
+    after = json.loads(_cli(["status", str(spec)], tmp_path).stdout)
+    assert after["cached_points"] == 4
+    assert after["interrupted"] is True
+
+
+def test_tune_rejects_non_optimizer_spec(tmp_path):
+    spec = _write_spec(tmp_path, GRID_SPEC)
+    proc = _cli(["tune", str(spec)], tmp_path)
+    assert proc.returncode == 1
+    assert "mode: \"optimize\"" in proc.stderr
+
+
+def test_tune_runs_optimizer_spec(tmp_path):
+    spec = _write_spec(
+        tmp_path,
+        {
+            "campaign": "cli-tune",
+            "kind": "synthetic",
+            "mode": "optimize",
+            "base": {"optimum": 0.25},
+            "ranges": {"x0": {"lo": -2.0, "hi": 2.0}},
+            "objective": "objective",
+            "budget": 12,
+            "batch": 4,
+            "seed": 3,
+        },
+    )
+    proc = _cli(["tune", str(spec)], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "best objective" in proc.stderr
+    doc = json.loads(_summary_path(tmp_path).read_text())
+    assert doc["evaluations"] == 12
+    assert abs(doc["best_params"]["x0"] - 0.25) < 1.0
+
+
+def test_bad_spec_file_is_a_usage_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    proc = _cli(["run", str(bad)], tmp_path)
+    assert proc.returncode == 1
+    assert "error:" in proc.stderr

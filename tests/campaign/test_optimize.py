@@ -1,0 +1,142 @@
+"""Closed-loop optimizer: convergence, budgets, failure surfaces."""
+
+import pytest
+
+from repro.campaign.optimize import (
+    OptimizerSpec,
+    objective_score,
+    run_optimizer,
+)
+from repro.campaign.spec import SimulationSpec, simulate
+
+
+def _evaluate(points):
+    return [simulate(p) for p in points]
+
+
+def _spec(**overrides):
+    data = {
+        "campaign": "t",
+        "kind": "synthetic",
+        "mode": "optimize",
+        "base": {"optimum": 1.5},
+        "ranges": {"x0": {"lo": -8.0, "hi": 8.0}, "x1": {"lo": -8.0, "hi": 8.0}},
+        "objective": "objective",
+        "budget": 64,
+        "batch": 8,
+        "top_k": 3,
+        "shrink": 0.5,
+        "seed": 11,
+    }
+    data.update(overrides)
+    return OptimizerSpec.from_json_dict(data)
+
+
+def test_converges_on_convex_objective_within_budget():
+    outcome = run_optimizer(_spec(), _evaluate)
+    assert outcome.best_params is not None
+    assert outcome.best_score is not None and outcome.best_score < 0.5
+    assert abs(outcome.best_params["x0"] - 1.5) < 1.0
+    assert abs(outcome.best_params["x1"] - 1.5) < 1.0
+    assert outcome.evaluations == 64 and outcome.budget_exhausted
+    # Refinement visibly contracted the search box.
+    first, last = outcome.history[0], outcome.history[-1]
+    width = lambda r: r["x0"][1] - r["x0"][0]  # noqa: E731
+    assert width(last["ranges"]) < width(first["ranges"])
+
+
+def test_budget_is_a_hard_ceiling_with_truncated_last_batch():
+    outcome = run_optimizer(_spec(budget=10, batch=4), _evaluate)
+    assert outcome.evaluations == 10
+    assert [h["evaluated"] for h in outcome.history] == [4, 4, 2]
+    assert outcome.budget_exhausted
+
+
+def test_all_nan_objective_degrades_gracefully():
+    outcome = run_optimizer(_spec(base={"mode": "nan"}), _evaluate)
+    assert outcome.best_params is None and outcome.best_score is None
+    assert outcome.valid_evaluations == 0
+    assert outcome.evaluations == 64  # still spent the budget looking
+    # Ranges never shrank: every round re-samples the full box.
+    assert outcome.history[-1]["ranges"] == outcome.history[0]["ranges"]
+
+
+def test_all_inf_objective_degrades_gracefully():
+    outcome = run_optimizer(_spec(base={"mode": "inf"}, budget=16), _evaluate)
+    assert outcome.best_params is None
+    assert outcome.valid_evaluations == 0
+
+
+def test_partially_invalid_surface_still_converges():
+    # NaN below 0: half the box is poisoned, the optimizer must route
+    # around it and still find the bowl at optimum=1.5.
+    spec = _spec(base={"optimum": 1.5, "mode": "nan_below", "threshold": 0.0})
+    outcome = run_optimizer(spec, _evaluate)
+    assert outcome.best_params is not None
+    assert outcome.valid_evaluations < outcome.evaluations
+    # The shrinking box can trap one coordinate slightly off-optimum when
+    # half the surface is invalid; what matters is a finite, sane score.
+    assert outcome.best_score < 10.0
+    assert outcome.best_params["x0"] >= 0.0
+    assert outcome.best_params["x1"] >= 0.0
+
+
+def test_maximize_mode():
+    # Maximizing the quadratic pushes toward the corners, away from optimum.
+    spec = _spec(minimize=False, budget=32)
+    outcome = run_optimizer(spec, _evaluate)
+    assert outcome.best_params is not None
+    assert outcome.best_score > 50.0
+
+
+def test_failed_runs_count_against_budget_but_never_score():
+    calls = []
+
+    def flaky(points):
+        calls.append(len(points))
+        return [None for _ in points]
+
+    outcome = run_optimizer(_spec(budget=8, batch=4), flaky)
+    assert outcome.evaluations == 8
+    assert outcome.valid_evaluations == 0
+    assert outcome.best_params is None
+
+
+def test_evaluator_length_mismatch_is_an_error():
+    with pytest.raises(ValueError, match="evaluator returned"):
+        run_optimizer(_spec(budget=4, batch=4), lambda points: [])
+
+
+def test_trajectory_is_deterministic():
+    a = run_optimizer(_spec(), _evaluate)
+    b = run_optimizer(_spec(), _evaluate)
+    assert a.to_json_dict() == b.to_json_dict()
+
+
+def test_objective_score_invalid_shapes():
+    result = simulate(SimulationSpec.make("synthetic", x0=1.0))
+    assert objective_score(result, "objective") == 1.0
+    assert objective_score(result, "missing_key") is None
+    assert objective_score(None, "objective") is None
+    nan_result = simulate(SimulationSpec.make("synthetic", x0=1.0, mode="nan"))
+    assert objective_score(nan_result, "objective") is None
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="at least one range"):
+        OptimizerSpec.from_json_dict(
+            {"campaign": "x", "kind": "synthetic", "mode": "optimize"}
+        )
+    with pytest.raises(ValueError, match="expected 'optimize'"):
+        OptimizerSpec.from_json_dict(
+            {"campaign": "x", "kind": "synthetic", "mode": "grid",
+             "ranges": {"x0": {"lo": 0, "hi": 1}}}
+        )
+    with pytest.raises(ValueError, match="0 < shrink < 1"):
+        _spec(shrink=1.5)
+
+
+def test_round_trip():
+    spec = _spec()
+    back = OptimizerSpec.from_json_dict(spec.to_json_dict())
+    assert back == spec and back.digest() == spec.digest()

@@ -1,0 +1,32 @@
+"""R001 fixture: campaign sampling done wrong.
+
+Expected findings (3):
+
+1. arithmetic point seed ``Random(seed * 1000 + i)`` — no provenance, and
+   round/point index collisions are silent (round 1 point 0 == round 0
+   point 1000)
+2. dynamic first stream-name component (the sweep mode as namespace)
+3. two call sites deriving the identical ``("campaign", 0)`` tuple — the
+   sweep and the optimizer would replay each other's draws
+"""
+
+from random import Random
+
+from repro.sim.rng import derive_seed
+
+
+def sample_points(seed: int, count: int) -> list:
+    return [Random(seed * 1000 + i).random() for i in range(count)]  # 1: arithmetic
+
+
+def propose(seed: int, mode: str, count: int) -> list:
+    rng = Random(derive_seed(seed, mode, count))  # 2: dynamic namespace
+    return [rng.random() for _ in range(count)]
+
+
+def draw_round(seed: int) -> float:
+    return Random(derive_seed(seed, "campaign", 0)).random()
+
+
+def tune_round(seed: int) -> float:
+    return Random(derive_seed(seed, "campaign", 0)).random()  # 3: duplicate tuple

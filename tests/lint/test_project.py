@@ -166,7 +166,7 @@ def test_rng_provenance_good_is_clean():
 def test_rng_provenance_bad_finds_every_class():
     findings = run_rule("rng-provenance", FIXTURES / "rng" / "bad")
     messages = "\n".join(f.message for f in findings)
-    assert len(findings) == 7
+    assert len(findings) == 10  # 7 in repro/sim + 3 in repro/campaign
     assert "unseeded Random construction" in messages
     assert "does not flow from derive_seed" in messages
     assert "`Generator(PCG64(12345))`" not in messages  # judged at PCG64 site
@@ -175,6 +175,11 @@ def test_rng_provenance_bad_finds_every_class():
     assert "string-built stream-name component" in messages
     assert "duplicate derive_seed stream tuple ('noise', 3)" in messages
     assert "duplicate stream stream tuple ('phy', 7)" in messages
+    # The campaign fixture's three classes: arithmetic point seeds, a
+    # dynamic namespace, and sweep/optimizer call sites sharing a tuple.
+    assert "`Random(seed * 1000 + i)`" in messages
+    assert "first component `mode` is not a string literal" in messages
+    assert "duplicate derive_seed stream tuple ('campaign', 0)" in messages
 
 
 def test_rng_provenance_ignores_modules_outside_deterministic_packages(tmp_path):

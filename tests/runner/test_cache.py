@@ -62,3 +62,39 @@ def test_empty_cache_is_still_a_cache(tmp_path):
 
     runner = ExperimentRunner(cache=cache)
     assert runner.cache is cache
+
+
+def test_torn_write_is_a_miss_not_a_phantom_hit(tmp_path):
+    """Regression: ``__contains__`` used to be a bare ``path.exists()``, so a
+    truncated entry (power loss mid-write before the atomic rename landed,
+    or a partially copied cache dir) answered "present" while ``get``
+    answered MISS — sweeps then recorded cache hits with no result and
+    campaigns resumed with holes.  Membership must mean *readable*."""
+    cache = ResultCache(tmp_path)
+    digest = "aa" + "0" * 30
+    cache.put(digest, {"objective": 1.0})
+    assert digest in cache
+
+    # Tear the entry: keep the file, destroy the payload.
+    path = cache.path_for(digest)
+    path.write_bytes(path.read_bytes()[: max(1, len(path.read_bytes()) // 2)])
+
+    assert cache.get(digest) is MISS
+    assert digest not in cache  # membership and get() agree
+
+    # The runner treats the torn entry as never-ran and re-executes.
+    from repro.runner.runner import ExperimentRunner, Task
+
+    runner = ExperimentRunner(cache=cache, telemetry=None)
+    task = Task(fn=_double, arg=21)
+    cache.put(task.digest(), 42)
+    torn = cache.path_for(task.digest())
+    torn.write_bytes(b"\x80")
+    (result,) = runner.run([task])
+    assert result == 42
+    assert runner.stats.executed == 1 and runner.stats.cache_hits == 0
+    assert cache.get(task.digest()) == 42  # and the entry healed
+
+
+def _double(x):
+    return x * 2
